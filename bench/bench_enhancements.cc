@@ -1,0 +1,206 @@
+/**
+ * @file
+ * E4 + E5: the two §4.4 enhancements, measured.
+ *
+ * (a) Parallel cache controller (duplicate tag directory): broadcasts
+ *     that miss in the duplicate steal no processor cycle, so the
+ *     stolen-cycle count drops to the *useful* deliveries only —
+ *     "from the viewpoint of the cache this is equivalent to the
+ *     distributed full map scheme" — while network traffic is
+ *     unchanged (the paper's stated limitation).
+ *
+ * (b) Translation buffer: sweeping its capacity trades hardware for a
+ *     hit ratio H; the fraction of broadcast overhead eliminated
+ *     should track H ("if a 90% hit ratio ... could be maintained,
+ *     90% of the added overhead resulting from the broadcasts is
+ *     eliminated").  We print capacity, measured H, remaining useless
+ *     commands, and the elimination fraction vs. H.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "core/two_bit_protocol.hh"
+#include "core/two_bit_tb_protocol.hh"
+#include "proto/protocol_factory.hh"
+#include "system/func_system.hh"
+#include "trace/synthetic.hh"
+
+namespace
+{
+
+using namespace dir2b;
+
+SyntheticConfig
+workload(ProcId n)
+{
+    SyntheticConfig scfg;
+    scfg.numProcs = n;
+    scfg.q = 0.05;
+    scfg.w = 0.3;
+    scfg.sharedBlocks = 64; // enough blocks that a small TB thrashes
+    scfg.privateBlocks = 96;
+    scfg.hotBlocks = 24;
+    scfg.seed = 7;
+    return scfg;
+}
+
+ProtoConfig
+system(ProcId n)
+{
+    ProtoConfig cfg;
+    cfg.numProcs = n;
+    cfg.cacheGeom.sets = 32;
+    cfg.cacheGeom.ways = 4;
+    cfg.numModules = 4;
+    return cfg;
+}
+
+void
+snoopFilterExperiment()
+{
+    constexpr ProcId n = 16;
+    constexpr std::uint64_t refs = 200000;
+
+    std::printf("E5 — enhancement (a): duplicate cache directory "
+                "(parallel controller)\n");
+    std::printf("moderate sharing, n=%u, %llu refs\n\n", n,
+                static_cast<unsigned long long>(refs));
+    std::printf("%-22s %14s %14s %14s\n", "config", "stolen cycles",
+                "filtered", "net messages");
+
+    for (bool filter : {false, true}) {
+        ProtoConfig cfg = system(n);
+        cfg.snoopFilter = filter;
+        TwoBitProtocol proto(cfg);
+        SyntheticStream stream(workload(n));
+        RunOptions opts;
+        opts.numRefs = refs;
+        runFunctional(proto, stream, opts);
+        std::printf("%-22s %14llu %14llu %14llu\n",
+                    filter ? "with duplicate dir" : "plain two-bit",
+                    static_cast<unsigned long long>(
+                        proto.counts().stolenCycles),
+                    static_cast<unsigned long long>(
+                        proto.counts().filteredCmds),
+                    static_cast<unsigned long long>(
+                        proto.counts().netMessages));
+    }
+    std::printf("\nWith the duplicate directory the cache only loses a "
+                "cycle when the\nbroadcast block is actually present; "
+                "network traffic is unchanged\n(the limitation the "
+                "paper notes for this enhancement).\n\n");
+}
+
+void
+translationBufferExperiment()
+{
+    constexpr ProcId n = 16;
+    constexpr std::uint64_t refs = 200000;
+
+    // Baseline: plain two-bit overhead.
+    ProtoConfig base = system(n);
+    TwoBitProtocol plain(base);
+    {
+        SyntheticStream stream(workload(n));
+        RunOptions opts;
+        opts.numRefs = refs;
+        runFunctional(plain, stream, opts);
+    }
+    const double baseline =
+        static_cast<double>(plain.counts().uselessCmds);
+
+    std::printf("E4 — enhancement (b): translation buffer sweep "
+                "(n=%u, %llu refs)\n\n",
+                n, static_cast<unsigned long long>(refs));
+    std::printf("%-12s %10s %16s %18s %12s\n", "TB capacity",
+                "hit ratio", "useless cmds", "eliminated frac",
+                "broadcasts");
+    std::printf("%-12s %10s %16.0f %18s %12llu\n", "none (base)", "-",
+                baseline, "-",
+                static_cast<unsigned long long>(
+                    plain.counts().broadcasts));
+
+    for (std::size_t cap : {2u, 4u, 8u, 16u, 32u, 64u, 256u}) {
+        ProtoConfig cfg = system(n);
+        cfg.tbCapacity = cap;
+        TwoBitTbProtocol proto(cfg);
+        SyntheticStream stream(workload(n));
+        RunOptions opts;
+        opts.numRefs = refs;
+        runFunctional(proto, stream, opts);
+
+        const double useless =
+            static_cast<double>(proto.counts().uselessCmds);
+        const double eliminated =
+            baseline > 0 ? 1.0 - useless / baseline : 0.0;
+        std::printf("%-12zu %10.3f %16.0f %18.3f %12llu\n", cap,
+                    proto.tbHitRatio(), useless, eliminated,
+                    static_cast<unsigned long long>(
+                        proto.counts().broadcasts));
+    }
+    std::printf(
+        "\nThe elimination fraction tracks the buffer hit ratio: at "
+        "H~0.9 about\n90%% of the broadcast overhead disappears, and "
+        "with a large enough\nbuffer the scheme approaches the full "
+        "map (the paper's limiting claim).\n");
+}
+
+void
+present1Ablation()
+{
+    // §3.2.1's design note: EJECT(k,olda,"read") "could be ignored ...
+    // however keeping Present1, and allowing the transition from
+    // Present1 to Absent, will reduce the number of broadcasts."  This
+    // quantifies the claim: the same workloads with and without the
+    // Present1 encoding (folded into Present*).
+    constexpr ProcId n = 16;
+    constexpr std::uint64_t refs = 200000;
+
+    std::printf("\nAblation — the value of the Present1 encoding "
+                "(n=%u, %llu refs)\n\n",
+                n, static_cast<unsigned long long>(refs));
+    std::printf("%-12s %-14s %12s %12s %14s\n", "sharing",
+                "variant", "broadcasts", "useless", "mrequests");
+
+    struct Case { const char *name; double q; double w; };
+    const Case cases[] = {{"low", 0.01, 0.2}, {"moderate", 0.05, 0.2},
+                          {"high", 0.10, 0.4}};
+    for (const auto &c : cases) {
+        for (const char *variant : {"two_bit", "two_bit_nop1"}) {
+            ProtoConfig cfg = system(n);
+            auto proto = makeProtocol(variant, cfg);
+            SyntheticConfig scfg = workload(n);
+            scfg.q = c.q;
+            scfg.w = c.w;
+            SyntheticStream stream(scfg);
+            RunOptions opts;
+            opts.numRefs = refs;
+            runFunctional(*proto, stream, opts);
+            std::printf("%-12s %-14s %12llu %12llu %14llu\n", c.name,
+                        variant,
+                        static_cast<unsigned long long>(
+                            proto->counts().broadcasts),
+                        static_cast<unsigned long long>(
+                            proto->counts().uselessCmds),
+                        static_cast<unsigned long long>(
+                            proto->counts().mrequests));
+        }
+    }
+    std::printf("\nWithout Present1, every first write to a "
+                "once-read block needs a\nbroadcast (no free "
+                "MGRANTED), and clean ejections can never reclaim\n"
+                "Absent — both broadcast counts rise, vindicating the "
+                "fourth state.\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    snoopFilterExperiment();
+    translationBufferExperiment();
+    present1Ablation();
+    return 0;
+}

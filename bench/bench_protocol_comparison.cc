@@ -1,0 +1,131 @@
+/**
+ * @file
+ * E7: the §2 spectrum of solutions, quantified.
+ *
+ * Every protocol of the paper's survey runs the same four workload
+ * classes; we report the axes the paper argues qualitatively:
+ * directory storage (bits/block), network messages, commands received
+ * at caches (broadcast vs directed, useless fraction), invalidations,
+ * writebacks/word-writes (write-through pressure), snoop checks (the
+ * bus schemes' per-miss cost), and miss ratio.
+ *
+ * The software scheme runs only the synthetic workload (its
+ * compile-time classification cannot express the other patterns'
+ * cross-processor write sharing of "private" regions is fine — but
+ * task migration is excluded by the scheme's own premise).
+ */
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "proto/protocol_factory.hh"
+#include "system/func_system.hh"
+#include "trace/synthetic.hh"
+#include "trace/workloads.hh"
+
+namespace
+{
+
+using namespace dir2b;
+
+std::unique_ptr<RefStream>
+makeStream(const std::string &workload, ProcId n)
+{
+    if (workload == "synthetic") {
+        SyntheticConfig cfg;
+        cfg.numProcs = n;
+        cfg.q = 0.05;
+        cfg.w = 0.3;
+        cfg.sharedBlocks = 16;
+        cfg.privateBlocks = 96;
+        cfg.hotBlocks = 24;
+        cfg.seed = 11;
+        return std::make_unique<SyntheticStream>(cfg);
+    }
+    WorkloadConfig cfg;
+    cfg.numProcs = n;
+    cfg.sharedBlocks = 16;
+    cfg.privateBlocks = 64;
+    cfg.privateFraction = 0.7;
+    cfg.seed = 11;
+    if (workload == "producer_consumer")
+        return std::make_unique<ProducerConsumerWorkload>(cfg);
+    if (workload == "migratory")
+        return std::make_unique<MigratoryWorkload>(cfg);
+    if (workload == "read_mostly")
+        return std::make_unique<ReadMostlyWorkload>(cfg);
+    if (workload == "lock")
+        return std::make_unique<LockContentionWorkload>(cfg);
+    return nullptr;
+}
+
+void
+runWorkload(const std::string &workload)
+{
+    constexpr ProcId n = 8;
+    constexpr std::uint64_t refs = 150000;
+
+    std::printf("workload: %s (n=%u, %llu refs; per-1000-references "
+                "rates)\n",
+                workload.c_str(), n,
+                static_cast<unsigned long long>(refs));
+    std::printf("%-15s %5s %8s %8s %8s %8s %8s %8s %8s %8s\n",
+                "protocol", "bits", "netMsg", "recvCmd", "useless",
+                "inval", "wrBack", "wordWr", "snoop", "miss%");
+
+    for (const auto &name : protocolNames()) {
+        ProtoConfig cfg;
+        cfg.numProcs = n;
+        cfg.cacheGeom.sets = 32;
+        cfg.cacheGeom.ways = 4;
+        cfg.numModules = 4;
+        cfg.tbCapacity = 32;
+        cfg.biasCapacity = 16;
+        cfg.nonCacheableBase = sharedRegionBase;
+
+        auto proto = makeProtocol(name, cfg);
+        auto stream = makeStream(workload, n);
+        RunOptions opts;
+        opts.numRefs = refs;
+        const RunResult r = runFunctional(*proto, *stream, opts);
+
+        const double k = 1000.0 / static_cast<double>(refs);
+        const auto &c = r.counts;
+        std::printf(
+            "%-15s %5u %8.1f %8.1f %8.1f %8.1f %8.1f %8.1f %8.1f "
+            "%7.2f%%\n",
+            name.c_str(), proto->directoryBitsPerBlock(),
+            c.netMessages * k, (c.broadcastCmds + c.directedCmds) * k,
+            c.uselessCmds * k, c.invalidations * k, c.writebacks * k,
+            c.wordWrites * k, c.snoopChecks * k, 100.0 * c.missRatio());
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("E7: the Sec. 2 spectrum quantified — all schemes on "
+                "common workloads\n\n");
+    for (const char *w :
+         {"synthetic", "read_mostly", "producer_consumer", "migratory",
+          "lock"}) {
+        runWorkload(w);
+    }
+    std::printf(
+        "Reading guide (the paper's qualitative claims, now measured):\n"
+        " * full_map/dup_dir/two_bit_tb: zero useless commands;\n"
+        " * two_bit: useless commands grow with sharing level but its\n"
+        "   directory stays at 2 bits/block at any n;\n"
+        " * classical: word-writes and invalidation traffic on every\n"
+        "   store (the 'most damaging drawback');\n"
+        " * write_once/illinois: snoop checks on every miss — cheap on\n"
+        "   a bus, unavailable on a general interconnection network;\n"
+        " * software: zero coherence traffic, but every shared access\n"
+        "   is a memory round trip (miss%% includes them).\n");
+    return 0;
+}

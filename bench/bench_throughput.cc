@@ -1,0 +1,137 @@
+/**
+ * @file
+ * E9: engineering benchmarks (google-benchmark) — simulator throughput
+ * for the hot paths: protocol access transactions per second for the
+ * main schemes, the event-queue kernel, the analytic solvers, and the
+ * packed directory.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/two_bit_directory.hh"
+#include "model/overhead_model.hh"
+#include "model/sharing_chain.hh"
+#include "proto/protocol_factory.hh"
+#include "sim/event_queue.hh"
+#include "trace/synthetic.hh"
+
+namespace
+{
+
+using namespace dir2b;
+
+void
+protocolThroughput(benchmark::State &state, const char *name)
+{
+    ProtoConfig cfg;
+    cfg.numProcs = 8;
+    cfg.cacheGeom.sets = 32;
+    cfg.cacheGeom.ways = 4;
+    cfg.numModules = 4;
+    cfg.tbCapacity = 32;
+    cfg.nonCacheableBase = sharedRegionBase;
+    auto proto = makeProtocol(name, cfg);
+
+    SyntheticConfig scfg;
+    scfg.numProcs = 8;
+    scfg.q = 0.05;
+    scfg.w = 0.3;
+    SyntheticStream stream(scfg);
+
+    std::uint64_t nonce = 1;
+    for (auto _ : state) {
+        const auto r = *stream.next();
+        benchmark::DoNotOptimize(
+            proto->access(r.proc, r.addr, r.write, ++nonce));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+
+void
+BM_TwoBitAccess(benchmark::State &state)
+{
+    protocolThroughput(state, "two_bit");
+}
+BENCHMARK(BM_TwoBitAccess);
+
+void
+BM_TwoBitTbAccess(benchmark::State &state)
+{
+    protocolThroughput(state, "two_bit_tb");
+}
+BENCHMARK(BM_TwoBitTbAccess);
+
+void
+BM_FullMapAccess(benchmark::State &state)
+{
+    protocolThroughput(state, "full_map");
+}
+BENCHMARK(BM_FullMapAccess);
+
+void
+BM_WriteOnceAccess(benchmark::State &state)
+{
+    protocolThroughput(state, "write_once");
+}
+BENCHMARK(BM_WriteOnceAccess);
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    EventQueue eq;
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i)
+            eq.schedule(static_cast<Tick>(i % 7), [] {});
+        eq.run();
+        eq.reset();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_TwoBitDirectorySetGet(benchmark::State &state)
+{
+    TwoBitDirectory dir;
+    Addr a = 0;
+    for (auto _ : state) {
+        dir.set(a & 0xffff, GlobalState::PresentM);
+        benchmark::DoNotOptimize(dir.get((a + 7) & 0xffff));
+        ++a;
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TwoBitDirectorySetGet);
+
+void
+BM_OverheadClosedForm(benchmark::State &state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            overhead(sharingCase(SharingLevel::Moderate, 16, 0.2)));
+    }
+}
+BENCHMARK(BM_OverheadClosedForm);
+
+void
+BM_SolveTwoBitChain64(benchmark::State &state)
+{
+    ChainParams cp;
+    cp.n = 64;
+    cp.q = 0.05;
+    cp.w = 0.2;
+    cp.sharedBlocks = 16;
+    cp.evictRate = evictRateFromGeometry(64, 128);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(solveTwoBitChain(cp));
+}
+BENCHMARK(BM_SolveTwoBitChain64);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * E8 + ablations: the timed (discrete-event) system of Figure 3-1.
+ *
+ * Three experiments the analytic tables cannot answer (the paper:
+ * "Short of simulation, there are few alternatives to determine the
+ * effects of this traffic"):
+ *
+ *  1. two-bit vs full-map end-to-end: execution time, average memory
+ *     latency, network messages and stolen cache cycles for identical
+ *     workloads, with destination-port contention enabled so the
+ *     broadcasts actually congest something;
+ *  2. the §3.2.5 controller design options: strictly serial vs
+ *     per-block-concurrent ("multiprogrammed") controllers;
+ *  3. the §4.4(a) duplicate cache directory in real time.
+ *
+ * Every run executes under the per-location coherence oracle.
+ */
+
+#include <cstdio>
+
+#include "timed/timed_system.hh"
+#include "trace/synthetic.hh"
+
+namespace
+{
+
+using namespace dir2b;
+
+TimedRunResult
+run(TimedProto proto, ProcId n, double q, bool perBlock, bool snoop,
+    std::uint64_t refsPerProc, NetKind net = NetKind::Crossbar)
+{
+    TimedConfig cfg;
+    cfg.protocol = proto;
+    cfg.numProcs = n;
+    cfg.numModules = 4;
+    cfg.cacheGeom.sets = 32;
+    cfg.cacheGeom.ways = 4;
+    cfg.perBlockConcurrency = perBlock;
+    cfg.snoopFilter = snoop;
+    cfg.network = net;
+    TimedSystem sys(cfg);
+
+    SyntheticConfig scfg;
+    scfg.numProcs = n;
+    scfg.q = q;
+    scfg.w = 0.3;
+    scfg.sharedBlocks = 16;
+    scfg.privateBlocks = 96;
+    scfg.hotBlocks = 24;
+    scfg.sharedLocality = 0.9;
+    scfg.seed = 31;
+    auto stream = std::make_shared<SyntheticStream>(scfg);
+    auto src = [stream](ProcId p) -> std::optional<MemRef> {
+        return stream->nextFor(p);
+    };
+    return sys.run(src, refsPerProc);
+}
+
+void
+protocolComparison()
+{
+    constexpr std::uint64_t refs = 20000;
+    std::printf("1. two-bit vs full-map, end to end (port contention "
+                "on, %llu refs/proc)\n\n",
+                static_cast<unsigned long long>(refs));
+    std::printf("%4s %8s | %10s %8s %10s %10s | %10s %8s %10s %10s\n",
+                "n", "q", "2b cycles", "2b lat", "2b msgs",
+                "2b stolen", "fm cycles", "fm lat", "fm msgs",
+                "fm stolen");
+    for (ProcId n : {4u, 8u, 16u}) {
+        for (double q : {0.01, 0.05, 0.10}) {
+            const auto tb = run(TimedProto::TwoBit, n, q, true, false,
+                                refs);
+            const auto fm = run(TimedProto::FullMap, n, q, true, false,
+                                refs);
+            std::printf(
+                "%4u %8.2f | %10llu %8.1f %10llu %10llu | %10llu %8.1f "
+                "%10llu %10llu\n",
+                n, q, static_cast<unsigned long long>(tb.finalTick),
+                tb.avgLatency,
+                static_cast<unsigned long long>(tb.netMessages),
+                static_cast<unsigned long long>(tb.stolenCycles),
+                static_cast<unsigned long long>(fm.finalTick),
+                fm.avgLatency,
+                static_cast<unsigned long long>(fm.netMessages),
+                static_cast<unsigned long long>(fm.stolenCycles));
+        }
+    }
+    std::printf("\nThe message and stolen-cycle gaps grow with n and q "
+                "— the same\ntrend Tables 4-1/4-2 predict analytically; "
+                "execution time follows\nonce broadcasts queue at the "
+                "destination ports.\n\n");
+
+    std::printf("1b. Yen-Fu (full map + silent exclusive upgrades) on "
+                "the same grid\n\n");
+    std::printf("%4s %8s | %10s %10s %10s\n", "n", "q", "yf cycles",
+                "yf msgs", "yf stolen");
+    for (ProcId n : {4u, 8u, 16u}) {
+        for (double q : {0.01, 0.05, 0.10}) {
+            const auto yf = run(TimedProto::YenFu, n, q, true, false,
+                                refs);
+            std::printf("%4u %8.2f | %10llu %10llu %10llu\n", n, q,
+                        static_cast<unsigned long long>(yf.finalTick),
+                        static_cast<unsigned long long>(yf.netMessages),
+                        static_cast<unsigned long long>(
+                            yf.stolenCycles));
+        }
+    }
+    std::printf("\nYen-Fu trims the full map's upgrade round trips "
+                "(Sec. 2.4.3) at the\nprice of querying every "
+                "sole-holder block on remote access.\n\n");
+}
+
+void
+controllerAblation()
+{
+    constexpr std::uint64_t refs = 20000;
+    std::printf("2. Sec. 3.2.5 controller options: serial vs "
+                "per-block-concurrent\n\n");
+    std::printf("%4s %8s | %14s %14s %10s\n", "n", "q",
+                "serial cycles", "perblk cycles", "speedup");
+    for (ProcId n : {4u, 8u, 16u}) {
+        for (double q : {0.05, 0.10}) {
+            const auto serial = run(TimedProto::TwoBit, n, q, false,
+                                    false, refs);
+            const auto perblk = run(TimedProto::TwoBit, n, q, true,
+                                    false, refs);
+            std::printf("%4u %8.2f | %14llu %14llu %9.2fx\n", n, q,
+                        static_cast<unsigned long long>(
+                            serial.finalTick),
+                        static_cast<unsigned long long>(
+                            perblk.finalTick),
+                        static_cast<double>(serial.finalTick) /
+                            static_cast<double>(perblk.finalTick));
+        }
+    }
+    std::printf("\nThe paper predicted option 1 'could lead to "
+                "important performance\ndegradation'; the "
+                "multiprogrammed controller recovers it.\n\n");
+}
+
+void
+snoopFilterTimed()
+{
+    constexpr std::uint64_t refs = 20000;
+    std::printf("3. Sec. 4.4(a) duplicate cache directory, timed\n\n");
+    std::printf("%4s | %12s %12s %12s\n", "n", "stolen", "filtered",
+                "cycles");
+    for (ProcId n : {8u, 16u}) {
+        for (bool snoop : {false, true}) {
+            const auto r = run(TimedProto::TwoBit, n, 0.10, true,
+                               snoop, refs);
+            std::printf("%4u%c| %12llu %12llu %12llu\n", n,
+                        snoop ? '+' : ' ',
+                        static_cast<unsigned long long>(r.stolenCycles),
+                        static_cast<unsigned long long>(r.filteredCmds),
+                        static_cast<unsigned long long>(r.finalTick));
+        }
+    }
+    std::printf("\n('+' = with duplicate directory.)  Stolen cycles "
+                "collapse to the\nactually-shared checks; messages and "
+                "end-to-end time barely move —\nexactly the limitation "
+                "the paper states for this enhancement.\n");
+}
+
+void
+networkKindComparison()
+{
+    constexpr std::uint64_t refs = 20000;
+    std::printf("4. interconnection-network kinds: why bus schemes "
+                "broadcast freely\n\n");
+    std::printf("%-10s %4s | %12s %12s %12s\n", "network", "n",
+                "cycles", "messages", "wait cycles");
+    struct Net { const char *name; NetKind kind; };
+    const Net nets[] = {{"ideal", NetKind::Ideal},
+                        {"crossbar", NetKind::Crossbar},
+                        {"bus", NetKind::Bus}};
+    for (const auto &net : nets) {
+        for (ProcId n : {4u, 16u}) {
+            const auto r = run(TimedProto::TwoBit, n, 0.10, true,
+                               false, refs, net.kind);
+            std::printf("%-10s %4u | %12llu %12llu %12llu\n",
+                        net.name, n,
+                        static_cast<unsigned long long>(r.finalTick),
+                        static_cast<unsigned long long>(r.netMessages),
+                        static_cast<unsigned long long>(
+                            r.netWaitCycles));
+        }
+    }
+    std::printf(
+        "\nOn a shared bus a BROADINV is one transaction regardless "
+        "of n — which\nis exactly why the Sec. 2.5 bus schemes can "
+        "afford to broadcast on\nevery miss; but the bus itself "
+        "serialises ALL traffic, capping the\nsystem.  On the "
+        "crossbar (the paper's general interconnection network)\n"
+        "fan-out costs n-1 messages and the two-bit overhead scales "
+        "with n,\nwhile point-to-point traffic enjoys full "
+        "parallelism — the trade-off\nSec. 3.1 describes.\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("E8: timed system experiments (discrete-event, "
+                "oracle-checked)\n\n");
+    protocolComparison();
+    controllerAblation();
+    snoopFilterTimed();
+    networkKindComparison();
+    return 0;
+}

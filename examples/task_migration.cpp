@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Example: process migration turns private data into shared data.
+ *
+ * §2.2 notes the software solution "is not sufficient by itself if we
+ * allow process migration", and §4.2 says migration effects "could be
+ * accounted for by adjusting the level of sharing".  This example
+ * makes that concrete: tasks with purely private working sets migrate
+ * between processors at a configurable period, and we measure how the
+ * two-bit scheme's broadcast overhead rises as the migration interval
+ * shrinks — private data dragged across caches behaves exactly like
+ * writeable shared data.
+ */
+
+#include <cstdio>
+
+#include "proto/protocol_factory.hh"
+#include "system/func_system.hh"
+#include "trace/workloads.hh"
+
+using namespace dir2b;
+
+namespace
+{
+
+void
+runPeriod(std::uint64_t period, std::uint64_t refs)
+{
+    ProtoConfig cfg;
+    cfg.numProcs = 4;
+    cfg.cacheGeom.sets = 32;
+    cfg.cacheGeom.ways = 4;
+    cfg.numModules = 4;
+    auto twoBit = makeProtocol("two_bit", cfg);
+    auto fullMap = makeProtocol("full_map", cfg);
+
+    WorkloadConfig wcfg;
+    wcfg.numProcs = 4;
+    wcfg.privateBlocks = 96;
+    wcfg.privateWriteFrac = 0.3;
+    wcfg.seed = 11;
+
+    RunOptions opts;
+    opts.numRefs = refs;
+
+    TaskMigrationWorkload s1(wcfg, period);
+    const RunResult r2 = runFunctional(*twoBit, s1, opts);
+    TaskMigrationWorkload s2(wcfg, period);
+    const RunResult rf = runFunctional(*fullMap, s2, opts);
+
+    const double k = 1000.0 / static_cast<double>(refs);
+    std::printf("  %9llu  %10llu  %10.1f %10.1f %10.2f | %10.1f\n",
+                static_cast<unsigned long long>(period),
+                static_cast<unsigned long long>(s1.migrations()),
+                100.0 * r2.counts.missRatio(),
+                r2.counts.broadcasts * k, r2.counts.uselessCmds * k,
+                rf.counts.directedCmds * k);
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr std::uint64_t refs = 400000;
+    std::printf("task migration: private working sets, gang-migrated "
+                "every <period> refs\n(4 processors, %llu refs)\n\n",
+                static_cast<unsigned long long>(refs));
+    std::printf("  %9s  %10s  %10s %10s %10s | %10s\n", "period",
+                "migrations", "miss%", "bcast/kref", "useless/kref",
+                "fm cmd/kref");
+    for (std::uint64_t period :
+         {1000000ull, 100000ull, 20000ull, 5000ull, 1000ull, 250ull}) {
+        runPeriod(period, refs);
+    }
+    std::printf(
+        "\nNo data is ever *shared* here — yet migration alone drives\n"
+        "broadcast traffic (dirty blocks queried out of the old cache,\n"
+        "stale copies invalidated), exactly the effect the paper says\n"
+        "to model as an increased level of sharing.  The full-map\n"
+        "column shows the directed-command floor the translation\n"
+        "buffer could recover.\n");
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Example: the §3.2.5 synchronization scenario, replayed in real time.
+ *
+ * "Cache i and cache j hold copies of a.  'At the same time'
+ *  processor i wants to execute STORE(a,d_i) and processor j wants to
+ *  execute STORE(a,d_j)."
+ *
+ * This drives the timed tier (message latencies, queued controller)
+ * through exactly that situation and prints what happened: one
+ * processor wins the MREQUEST, the other's queued MREQUEST is deleted
+ * while the BROADINV doubles as its MGRANTED(false), and it retries
+ * as a write miss — the scenario table at the end of §3.2.5.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <optional>
+#include <vector>
+
+#include "timed/timed_system.hh"
+
+using namespace dir2b;
+
+int
+main()
+{
+    TimedConfig cfg;
+    cfg.numProcs = 3;
+    cfg.numModules = 1;
+    cfg.cacheGeom.sets = 16;
+    cfg.cacheGeom.ways = 2;
+    cfg.dirLatency = 8; // wide service window: both MREQUESTs queue
+    TimedSystem sys(cfg);
+
+    const Addr a = 7;
+    // P0 and P1: read a (establishing two clean copies), then store.
+    // P2 keeps the controller busy so the MREQUESTs pile up.
+    std::vector<std::vector<MemRef>> scripts = {
+        {{0, a, false}, {0, a, true}},
+        {{1, a, false}, {1, a, true}},
+        {{2, 9, false}, {2, 11, false}, {2, 13, false}},
+    };
+    std::vector<std::size_t> pos(3, 0);
+    auto src = [&](ProcId p) -> std::optional<MemRef> {
+        if (pos[p] >= scripts[p].size())
+            return std::nullopt;
+        return scripts[p][pos[p]++];
+    };
+
+    std::printf("Sec. 3.2.5: concurrent STOREs to a block held clean "
+                "by two caches\n\n");
+    const auto r = sys.run(src, 100);
+
+    const auto &d = sys.dirCtrl(0).stats();
+    std::printf("controller view:\n");
+    std::printf("  MREQUESTs received            %llu\n",
+                static_cast<unsigned long long>(d.mrequests.value()));
+    std::printf("  MGRANTED(true) issued         %llu\n",
+                static_cast<unsigned long long>(d.grantsTrue.value()));
+    std::printf("  queued MREQUESTs deleted      %llu\n",
+                static_cast<unsigned long long>(d.mreqDeleted.value()));
+    std::printf("  MGRANTED(false) issued        %llu\n",
+                static_cast<unsigned long long>(d.grantsFalse.value()));
+    std::printf("  BROADINVs broadcast           %llu\n",
+                static_cast<unsigned long long>(d.broadInvs.value()));
+
+    std::printf("\ncache view:\n");
+    for (ProcId p = 0; p < 2; ++p) {
+        const auto &s = sys.cacheCtrl(p).stats();
+        std::printf("  P%u: MREQUESTs %llu, BROADINV-as-MGRANTED(false) "
+                    "conversions %llu\n",
+                    p,
+                    static_cast<unsigned long long>(s.mrequests.value()),
+                    static_cast<unsigned long long>(
+                        s.mrequestConversions.value()));
+    }
+
+    std::printf("\noutcome: %llu references completed in %llu cycles; "
+                "the per-location\ncoherence oracle validated every "
+                "read and the final memory state.\n",
+                static_cast<unsigned long long>(r.refsCompleted),
+                static_cast<unsigned long long>(r.finalTick));
+    std::printf("\nThe losing store was not lost and was not granted "
+                "twice: the delete-anywhere\nrequest queue plus the "
+                "BROADINV-as-MGRANTED(false) rule serialised the two\n"
+                "writers exactly as the paper's scenario prescribes.\n");
+
+    std::printf("\nfull statistics dump:\n");
+    sys.dumpStats(std::cout);
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * BIAS memory: repeated-invalidation filter for the classical scheme.
+ *
+ * Section 2.3 notes that the cache cycles spent processing the
+ * classical solution's invalidation storm "can be minimized by a 'BIAS
+ * memory' which filters out repeated invalidation requests for the same
+ * block" (Bean et al., cited through Smith's survey).  The filter is a
+ * small fully-associative buffer of block addresses whose invalidation
+ * has already been applied and that the local processor has not touched
+ * since; a repeated invalidation for a remembered block needs no cache
+ * directory cycle.
+ */
+
+#ifndef DIR2B_CACHE_BIAS_FILTER_HH
+#define DIR2B_CACHE_BIAS_FILTER_HH
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+
+#include "sim/stats.hh"
+#include "util/types.hh"
+
+namespace dir2b
+{
+
+/** LRU buffer of recently filtered invalidation addresses. */
+class BiasFilter
+{
+  public:
+    /** @param capacity number of remembered addresses (0 disables). */
+    explicit BiasFilter(std::size_t capacity) : capacity_(capacity) {}
+
+    /**
+     * An invalidation for block a arrived.  @return true if it can be
+     * absorbed (a repeat for a block already invalidated); false if the
+     * cache directory must be cycled, after which a is remembered.
+     */
+    bool
+    onInvalidate(Addr a)
+    {
+        if (capacity_ == 0)
+            return false;
+        if (auto it = map_.find(a); it != map_.end()) {
+            lru_.splice(lru_.begin(), lru_, it->second);
+            ++absorbed_;
+            return true;
+        }
+        remember(a);
+        ++passed_;
+        return false;
+    }
+
+    /** The local processor referenced block a: it may be re-cached, so
+     *  future invalidations must reach the directory again. */
+    void
+    onLocalReference(Addr a)
+    {
+        if (auto it = map_.find(a); it != map_.end()) {
+            lru_.erase(it->second);
+            map_.erase(it);
+        }
+    }
+
+    /** Invalidations absorbed by the filter. */
+    std::uint64_t absorbed() const { return absorbed_.value(); }
+
+    /** Invalidations that cycled the cache directory. */
+    std::uint64_t passed() const { return passed_.value(); }
+
+    std::size_t size() const { return map_.size(); }
+
+  private:
+    void
+    remember(Addr a)
+    {
+        lru_.push_front(a);
+        map_[a] = lru_.begin();
+        if (map_.size() > capacity_) {
+            map_.erase(lru_.back());
+            lru_.pop_back();
+        }
+    }
+
+    std::size_t capacity_;
+    std::list<Addr> lru_;
+    std::unordered_map<Addr, std::list<Addr>::iterator> map_;
+    Counter absorbed_;
+    Counter passed_;
+};
+
+} // namespace dir2b
+
+#endif // DIR2B_CACHE_BIAS_FILTER_HH

@@ -1,0 +1,26 @@
+#include "cache/cache_types.hh"
+
+#include "util/logging.hh"
+
+namespace dir2b
+{
+
+std::string
+toString(LineState s)
+{
+    switch (s) {
+      case LineState::Invalid:
+        return "Invalid";
+      case LineState::Shared:
+        return "Shared";
+      case LineState::Exclusive:
+        return "Exclusive";
+      case LineState::Reserved:
+        return "Reserved";
+      case LineState::Modified:
+        return "Modified";
+    }
+    DIR2B_PANIC("unknown LineState ", static_cast<int>(s));
+}
+
+} // namespace dir2b

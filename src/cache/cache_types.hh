@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Local cache-line states shared by all protocol implementations.
+ *
+ * The paper's baseline caches keep a valid bit and a modified bit per
+ * block (Section 2.4).  Several of the surveyed protocols extend the
+ * local state: Goodman's write-once adds Reserved; Yen & Fu and the
+ * Illinois scheme add an exclusive-clean state.  We use one enum wide
+ * enough for every protocol; each protocol only ever stores the subset
+ * it defines.
+ */
+
+#ifndef DIR2B_CACHE_CACHE_TYPES_HH
+#define DIR2B_CACHE_CACHE_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hh"
+
+namespace dir2b
+{
+
+/** Local state of a cache line. */
+enum class LineState : std::uint8_t
+{
+    /** No valid copy (valid bit off). */
+    Invalid,
+    /** Valid, unmodified; other copies may exist. */
+    Shared,
+    /** Valid, unmodified, guaranteed sole copy (Yen-Fu / Illinois E). */
+    Exclusive,
+    /** Written exactly once, memory still current (write-once R). */
+    Reserved,
+    /** Valid and modified; memory is stale (the paper's modified bit). */
+    Modified,
+};
+
+/** Human-readable state name. */
+std::string toString(LineState s);
+
+/** True for every state with the valid bit set. */
+constexpr bool
+isValid(LineState s)
+{
+    return s != LineState::Invalid;
+}
+
+/** True if memory may be stale relative to this copy. */
+constexpr bool
+isDirty(LineState s)
+{
+    return s == LineState::Modified;
+}
+
+/** One cache line: tag, local state, and the (modelled) block data. */
+struct CacheLine
+{
+    Addr addr = invalidAddr;
+    LineState state = LineState::Invalid;
+    Value value = 0;
+
+    bool valid() const { return state != LineState::Invalid; }
+    bool dirty() const { return state == LineState::Modified; }
+};
+
+} // namespace dir2b
+
+#endif // DIR2B_CACHE_CACHE_TYPES_HH

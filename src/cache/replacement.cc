@@ -1,0 +1,117 @@
+#include "cache/replacement.hh"
+
+#include "util/logging.hh"
+
+namespace dir2b
+{
+
+ReplPolicyKind
+parseReplPolicy(const std::string &name)
+{
+    if (name == "lru")
+        return ReplPolicyKind::Lru;
+    if (name == "fifo")
+        return ReplPolicyKind::Fifo;
+    if (name == "random")
+        return ReplPolicyKind::Random;
+    DIR2B_FATAL("unknown replacement policy '", name,
+                "' (expected lru, fifo, or random)");
+}
+
+LruPolicy::LruPolicy(std::size_t sets, std::size_t ways)
+    : ReplacementPolicy(sets, ways), stamp_(sets * ways, 0)
+{}
+
+void
+LruPolicy::touch(std::size_t set, std::size_t way)
+{
+    stamp_[set * ways_ + way] = ++clock_;
+}
+
+void
+LruPolicy::install(std::size_t set, std::size_t way)
+{
+    stamp_[set * ways_ + way] = ++clock_;
+}
+
+std::size_t
+LruPolicy::victim(std::size_t set)
+{
+    std::size_t best = 0;
+    std::uint64_t bestStamp = ~0ULL;
+    for (std::size_t w = 0; w < ways_; ++w) {
+        if (stamp_[set * ways_ + w] < bestStamp) {
+            bestStamp = stamp_[set * ways_ + w];
+            best = w;
+        }
+    }
+    return best;
+}
+
+FifoPolicy::FifoPolicy(std::size_t sets, std::size_t ways)
+    : ReplacementPolicy(sets, ways), stamp_(sets * ways, 0)
+{}
+
+void
+FifoPolicy::touch(std::size_t, std::size_t)
+{
+    // FIFO ignores reference hits by definition.
+}
+
+void
+FifoPolicy::install(std::size_t set, std::size_t way)
+{
+    stamp_[set * ways_ + way] = ++clock_;
+}
+
+std::size_t
+FifoPolicy::victim(std::size_t set)
+{
+    std::size_t best = 0;
+    std::uint64_t bestStamp = ~0ULL;
+    for (std::size_t w = 0; w < ways_; ++w) {
+        if (stamp_[set * ways_ + w] < bestStamp) {
+            bestStamp = stamp_[set * ways_ + w];
+            best = w;
+        }
+    }
+    return best;
+}
+
+RandomPolicy::RandomPolicy(std::size_t sets, std::size_t ways,
+                           std::uint64_t seed)
+    : ReplacementPolicy(sets, ways), rng_(seed)
+{}
+
+void
+RandomPolicy::touch(std::size_t, std::size_t)
+{
+}
+
+void
+RandomPolicy::install(std::size_t, std::size_t)
+{
+}
+
+std::size_t
+RandomPolicy::victim(std::size_t)
+{
+    return rng_.range(ways_);
+}
+
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(ReplPolicyKind kind, std::size_t sets,
+                      std::size_t ways, std::uint64_t seed)
+{
+    switch (kind) {
+      case ReplPolicyKind::Lru:
+        return std::make_unique<LruPolicy>(sets, ways);
+      case ReplPolicyKind::Fifo:
+        return std::make_unique<FifoPolicy>(sets, ways);
+      case ReplPolicyKind::Random:
+        return std::make_unique<RandomPolicy>(sets, ways, seed);
+    }
+    DIR2B_PANIC("unknown replacement policy kind");
+}
+
+} // namespace dir2b

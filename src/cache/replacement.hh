@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Replacement policies for set-associative caches.
+ *
+ * A policy tracks the access recency/insertion order of the ways in
+ * each set and nominates a victim when an allocation finds no invalid
+ * way.  Policies are per-cache objects; all state lives here rather
+ * than in the lines so that CacheArray stays policy-agnostic.
+ */
+
+#ifndef DIR2B_CACHE_REPLACEMENT_HH
+#define DIR2B_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/random.hh"
+
+namespace dir2b
+{
+
+/** Replacement policy selector. */
+enum class ReplPolicyKind { Lru, Fifo, Random };
+
+/** Parse "lru" / "fifo" / "random" (fatal on anything else). */
+ReplPolicyKind parseReplPolicy(const std::string &name);
+
+/** Abstract replacement policy over (set, way) coordinates. */
+class ReplacementPolicy
+{
+  public:
+    ReplacementPolicy(std::size_t sets, std::size_t ways)
+        : sets_(sets), ways_(ways)
+    {}
+
+    virtual ~ReplacementPolicy() = default;
+
+    /** A lookup hit touched this way. */
+    virtual void touch(std::size_t set, std::size_t way) = 0;
+
+    /** A new block was installed in this way. */
+    virtual void install(std::size_t set, std::size_t way) = 0;
+
+    /** Nominate the victim way for this set. */
+    virtual std::size_t victim(std::size_t set) = 0;
+
+    /** Policy name for stats/reporting. */
+    virtual std::string name() const = 0;
+
+  protected:
+    std::size_t sets_;
+    std::size_t ways_;
+};
+
+/** Least-recently-used via per-set recency timestamps. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    LruPolicy(std::size_t sets, std::size_t ways);
+
+    void touch(std::size_t set, std::size_t way) override;
+    void install(std::size_t set, std::size_t way) override;
+    std::size_t victim(std::size_t set) override;
+    std::string name() const override { return "lru"; }
+
+  private:
+    std::vector<std::uint64_t> stamp_;
+    std::uint64_t clock_ = 0;
+};
+
+/** First-in-first-out: evicts by installation order, ignores touches. */
+class FifoPolicy : public ReplacementPolicy
+{
+  public:
+    FifoPolicy(std::size_t sets, std::size_t ways);
+
+    void touch(std::size_t set, std::size_t way) override;
+    void install(std::size_t set, std::size_t way) override;
+    std::size_t victim(std::size_t set) override;
+    std::string name() const override { return "fifo"; }
+
+  private:
+    std::vector<std::uint64_t> stamp_;
+    std::uint64_t clock_ = 0;
+};
+
+/** Uniform random victim selection (deterministic given the seed). */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    RandomPolicy(std::size_t sets, std::size_t ways, std::uint64_t seed);
+
+    void touch(std::size_t set, std::size_t way) override;
+    void install(std::size_t set, std::size_t way) override;
+    std::size_t victim(std::size_t set) override;
+    std::string name() const override { return "random"; }
+
+  private:
+    Rng rng_;
+};
+
+/** Factory keyed by ReplPolicyKind. */
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(ReplPolicyKind kind, std::size_t sets,
+                      std::size_t ways, std::uint64_t seed = 1);
+
+} // namespace dir2b
+
+#endif // DIR2B_CACHE_REPLACEMENT_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Duplicate cache directory ("parallel cache controller", Section 4.4).
+ *
+ * The first enhancement the paper proposes keeps a second copy of each
+ * cache's tag directory so that incoming broadcast commands can be
+ * checked without stealing a cycle from the processor-facing side.  The
+ * cache only loses a cycle when the broadcast block is actually
+ * present.  This class models that duplicate directory: a set of block
+ * addresses mirrored from the cache, plus counters separating filtered
+ * (absent, free) checks from forwarded (present, one stolen cycle)
+ * checks.
+ */
+
+#ifndef DIR2B_CACHE_SNOOP_FILTER_HH
+#define DIR2B_CACHE_SNOOP_FILTER_HH
+
+#include <unordered_set>
+
+#include "sim/stats.hh"
+#include "util/types.hh"
+
+namespace dir2b
+{
+
+/** Mirror of one cache's tag directory for broadcast filtering. */
+class SnoopFilter
+{
+  public:
+    /** Mirror an installation (cache fill). */
+    void
+    insert(Addr a)
+    {
+        resident_.insert(a);
+    }
+
+    /** Mirror an invalidation or eviction. */
+    void
+    erase(Addr a)
+    {
+        resident_.erase(a);
+    }
+
+    /**
+     * Check an incoming broadcast.  @return true if the block is
+     * present and the command must be forwarded to the cache proper
+     * (costing a stolen cycle); false if it can be absorbed here.
+     */
+    bool
+    check(Addr a)
+    {
+        if (resident_.count(a)) {
+            ++forwarded_;
+            return true;
+        }
+        ++filtered_;
+        return false;
+    }
+
+    /** Broadcast checks absorbed without disturbing the cache. */
+    std::uint64_t filtered() const { return filtered_.value(); }
+
+    /** Broadcast checks that had to steal a cache cycle. */
+    std::uint64_t forwarded() const { return forwarded_.value(); }
+
+    /** Number of mirrored blocks (must track the cache's validCount). */
+    std::size_t size() const { return resident_.size(); }
+
+    void
+    clear()
+    {
+        resident_.clear();
+    }
+
+  private:
+    std::unordered_set<Addr> resident_;
+    Counter filtered_;
+    Counter forwarded_;
+};
+
+} // namespace dir2b
+
+#endif // DIR2B_CACHE_SNOOP_FILTER_HH

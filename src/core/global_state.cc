@@ -1,0 +1,24 @@
+#include "core/global_state.hh"
+
+#include "util/logging.hh"
+
+namespace dir2b
+{
+
+std::string
+toString(GlobalState s)
+{
+    switch (s) {
+      case GlobalState::Absent:
+        return "Absent";
+      case GlobalState::Present1:
+        return "Present1";
+      case GlobalState::PresentStar:
+        return "Present*";
+      case GlobalState::PresentM:
+        return "PresentM";
+    }
+    DIR2B_PANIC("unknown GlobalState ", static_cast<int>(s));
+}
+
+} // namespace dir2b

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The four global block states of the two-bit directory scheme (§3.1).
+ *
+ * Exactly four states means two bits per block — the paper's central
+ * economy argument against the (n+1)-bit full map:
+ *
+ *   Absent       not present in any cache;
+ *   Present1     present in exactly one cache, read-only;
+ *   Present*     present in ZERO or more caches, read-only (the count
+ *                is unknown because clean ejections from a Present*
+ *                block cannot be decremented — "this apparent anomaly",
+ *                §3.1 footnote 2);
+ *   PresentM     present in exactly one cache and modified there.
+ *
+ * Present1 is subsumed by Present* but is kept because (a) an EJECT
+ * from Present1 can restore Absent, and (b) an MREQUEST against
+ * Present1 can be granted without any broadcast (§3.2.4 case 1) —
+ * both reduce the number of broadcasts.
+ */
+
+#ifndef DIR2B_CORE_GLOBAL_STATE_HH
+#define DIR2B_CORE_GLOBAL_STATE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace dir2b
+{
+
+/** Two-bit global state of a memory block. */
+enum class GlobalState : std::uint8_t
+{
+    Absent = 0,
+    Present1 = 1,
+    PresentStar = 2,
+    PresentM = 3,
+};
+
+/** Paper spelling of a global state. */
+std::string toString(GlobalState s);
+
+/** True if the state admits cached read-only copies. */
+constexpr bool
+isPresentClean(GlobalState s)
+{
+    return s == GlobalState::Present1 || s == GlobalState::PresentStar;
+}
+
+} // namespace dir2b
+
+#endif // DIR2B_CORE_GLOBAL_STATE_HH

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Translation buffer: the paper's second enhancement (§4.4).
+ *
+ * "...adding to each memory controller a translation buffer or cache
+ * memory in which to store the identities of caches which own copies
+ * of blocks from that module.  In those cases where a broadcast is
+ * needed in the unmodified two-bit scheme, the controller would first
+ * determine if the identity of the owner (or owners) is present in the
+ * translation buffer.  If so, selective message handling can be
+ * performed just as with the n+1 bit approach; if not, a broadcast
+ * must be used..."
+ *
+ * An entry is a full holder set for one block and is only usable while
+ * *exact*.  Exactness is achievable because the home controller
+ * observes every REQUEST, MREQUEST and EJECT for its blocks: an entry
+ * installed at a moment when the holder set is unambiguous (transition
+ * out of Absent, or any write, which leaves exactly the writer) can be
+ * kept exact by tracking those commands — until LRU capacity eviction
+ * discards it, after which the block needs a broadcast again to
+ * re-learn the set.
+ */
+
+#ifndef DIR2B_CORE_TRANSLATION_BUFFER_HH
+#define DIR2B_CORE_TRANSLATION_BUFFER_HH
+
+#include <cstddef>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "util/types.hh"
+
+namespace dir2b
+{
+
+/** LRU owner-identity cache attached to one memory controller. */
+class TranslationBuffer
+{
+  public:
+    /** @param capacity entries (0 disables the buffer entirely). */
+    explicit TranslationBuffer(std::size_t capacity)
+        : capacity_(capacity)
+    {}
+
+    /**
+     * Consult the buffer before a would-be broadcast.
+     * @return the exact holder set on a hit, nullopt on a miss.
+     */
+    std::optional<std::vector<ProcId>>
+    lookup(Addr a)
+    {
+        if (auto it = map_.find(a); it != map_.end()) {
+            lru_.splice(lru_.begin(), lru_, it->second);
+            ++hits_;
+            return it->second->holders;
+        }
+        ++misses_;
+        return std::nullopt;
+    }
+
+    /** Install an exact holder set (transition out of Absent, or any
+     *  write leaving exactly one holder). */
+    void
+    installExact(Addr a, std::vector<ProcId> holders)
+    {
+        if (capacity_ == 0)
+            return;
+        if (auto it = map_.find(a); it != map_.end()) {
+            it->second->holders = std::move(holders);
+            lru_.splice(lru_.begin(), lru_, it->second);
+            return;
+        }
+        lru_.push_front(EntryNode{a, std::move(holders)});
+        map_[a] = lru_.begin();
+        if (map_.size() > capacity_) {
+            map_.erase(lru_.back().addr);
+            lru_.pop_back();
+        }
+    }
+
+    /** The controller observed cache k loading block a. */
+    void
+    addHolder(Addr a, ProcId k)
+    {
+        if (auto it = map_.find(a); it != map_.end()) {
+            auto &h = it->second->holders;
+            for (ProcId p : h) {
+                if (p == k)
+                    return;
+            }
+            h.push_back(k);
+        }
+    }
+
+    /** The controller observed cache k ejecting block a. */
+    void
+    removeHolder(Addr a, ProcId k)
+    {
+        if (auto it = map_.find(a); it != map_.end()) {
+            auto &h = it->second->holders;
+            std::erase(h, k);
+        }
+    }
+
+    /** Forget block a (e.g. it returned to Absent). */
+    void
+    drop(Addr a)
+    {
+        if (auto it = map_.find(a); it != map_.end()) {
+            lru_.erase(it->second);
+            map_.erase(it);
+        }
+    }
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+
+    /** Measured hit ratio of the buffer (the paper's 90% knob). */
+    double
+    hitRatio() const
+    {
+        const auto total = hits() + misses();
+        return total ? static_cast<double>(hits()) / total : 0.0;
+    }
+
+    std::size_t size() const { return map_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    struct EntryNode
+    {
+        Addr addr;
+        std::vector<ProcId> holders;
+    };
+
+    std::size_t capacity_;
+    std::list<EntryNode> lru_;
+    std::unordered_map<Addr, std::list<EntryNode>::iterator> map_;
+    Counter hits_;
+    Counter misses_;
+};
+
+} // namespace dir2b
+
+#endif // DIR2B_CORE_TRANSLATION_BUFFER_HH

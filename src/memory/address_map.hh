@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Block-to-module interleaving.
+ *
+ * Figure 3-1 shows main memory split into modules M_1..M_m, each with
+ * its own controller K_j holding the directory entries for the blocks
+ * in that module ("each controller is responsible only for the blocks
+ * pertaining to its module").  Low-order block-interleaving spreads
+ * consecutive blocks across modules, the standard choice for avoiding
+ * module hot-spots.
+ */
+
+#ifndef DIR2B_MEMORY_ADDRESS_MAP_HH
+#define DIR2B_MEMORY_ADDRESS_MAP_HH
+
+#include "util/logging.hh"
+#include "util/types.hh"
+
+namespace dir2b
+{
+
+/** Maps block addresses to their home memory module. */
+class AddressMap
+{
+  public:
+    explicit AddressMap(ModuleId modules) : modules_(modules)
+    {
+        if (modules == 0)
+            DIR2B_FATAL("system needs at least one memory module");
+    }
+
+    /** Home module (directory controller) of block a. */
+    ModuleId
+    home(Addr a) const
+    {
+        return static_cast<ModuleId>(a % modules_);
+    }
+
+    ModuleId modules() const { return modules_; }
+
+  private:
+    ModuleId modules_;
+};
+
+} // namespace dir2b
+
+#endif // DIR2B_MEMORY_ADDRESS_MAP_HH

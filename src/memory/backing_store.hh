@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Sparse backing store modelling main-memory block contents.
+ *
+ * Blocks are born with initialValue(a) and only materialise on the
+ * first write-back, so arbitrarily large address spaces cost nothing.
+ */
+
+#ifndef DIR2B_MEMORY_BACKING_STORE_HH
+#define DIR2B_MEMORY_BACKING_STORE_HH
+
+#include <unordered_map>
+
+#include "sim/stats.hh"
+#include "util/types.hh"
+
+namespace dir2b
+{
+
+/** Main-memory contents plus read/write traffic counters. */
+class BackingStore
+{
+  public:
+    /** Fetch the current contents of block a. */
+    Value
+    read(Addr a)
+    {
+        ++reads_;
+        return peek(a);
+    }
+
+    /** Write block a back to memory. */
+    void
+    write(Addr a, Value v)
+    {
+        ++writes_;
+        data_[a] = v;
+    }
+
+    /** Contents without touching the traffic counters (for oracles). */
+    Value
+    peek(Addr a) const
+    {
+        auto it = data_.find(a);
+        return it != data_.end() ? it->second : initialValue(a);
+    }
+
+    std::uint64_t reads() const { return reads_.value(); }
+    std::uint64_t writes() const { return writes_.value(); }
+
+  private:
+    std::unordered_map<Addr, Value> data_;
+    Counter reads_;
+    Counter writes_;
+};
+
+} // namespace dir2b
+
+#endif // DIR2B_MEMORY_BACKING_STORE_HH

@@ -1,0 +1,97 @@
+#include "model/linear.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace dir2b
+{
+
+std::vector<double>
+solveLinear(Matrix a, std::vector<double> b)
+{
+    const std::size_t n = a.rows();
+    DIR2B_ASSERT(a.cols() == n && b.size() == n,
+                 "solveLinear shape mismatch");
+
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivot.
+        std::size_t pivot = col;
+        double best = std::fabs(a.at(col, col));
+        for (std::size_t r = col + 1; r < n; ++r) {
+            if (std::fabs(a.at(r, col)) > best) {
+                best = std::fabs(a.at(r, col));
+                pivot = r;
+            }
+        }
+        DIR2B_ASSERT(best > 1e-300, "singular system in solveLinear");
+        if (pivot != col) {
+            for (std::size_t c = 0; c < n; ++c)
+                std::swap(a.at(col, c), a.at(pivot, c));
+            std::swap(b[col], b[pivot]);
+        }
+
+        // Eliminate below.
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double f = a.at(r, col) / a.at(col, col);
+            if (f == 0.0)
+                continue;
+            for (std::size_t c = col; c < n; ++c)
+                a.at(r, c) -= f * a.at(col, c);
+            b[r] -= f * b[col];
+        }
+    }
+
+    // Back substitution.
+    std::vector<double> x(n, 0.0);
+    for (std::size_t ri = n; ri-- > 0;) {
+        double acc = b[ri];
+        for (std::size_t c = ri + 1; c < n; ++c)
+            acc -= a.at(ri, c) * x[c];
+        x[ri] = acc / a.at(ri, ri);
+    }
+    return x;
+}
+
+std::vector<double>
+stationaryDistribution(const Matrix &rates)
+{
+    const std::size_t n = rates.rows();
+    DIR2B_ASSERT(rates.cols() == n, "generator must be square");
+
+    // Build Q^T with proper diagonals, then replace the last equation
+    // by the normalisation sum(pi) = 1.
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double out = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (i == j)
+                continue;
+            const double r = rates.at(i, j);
+            DIR2B_ASSERT(r >= 0.0, "negative rate in generator");
+            a.at(j, i) += r; // Q^T
+            out += r;
+        }
+        a.at(i, i) -= out;
+    }
+    std::vector<double> b(n, 0.0);
+    for (std::size_t j = 0; j < n; ++j)
+        a.at(n - 1, j) = 1.0;
+    b[n - 1] = 1.0;
+
+    auto pi = solveLinear(std::move(a), std::move(b));
+    // Numerical guard: clamp tiny negatives and renormalise.
+    double sum = 0.0;
+    for (auto &p : pi) {
+        if (p < 0.0 && p > -1e-9)
+            p = 0.0;
+        DIR2B_ASSERT(p >= 0.0, "negative stationary probability ", p);
+        sum += p;
+    }
+    DIR2B_ASSERT(sum > 0.0, "degenerate stationary distribution");
+    for (auto &p : pi)
+        p /= sum;
+    return pi;
+}
+
+} // namespace dir2b

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Small dense linear-algebra support for the analytic models.
+ *
+ * The Markov chains behind Tables 4-1/4-2 have at most n+3 states
+ * (n <= 64 processors), so a dense Gaussian elimination is the right
+ * tool: exact, dependency-free and trivially testable.
+ */
+
+#ifndef DIR2B_MODEL_LINEAR_HH
+#define DIR2B_MODEL_LINEAR_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace dir2b
+{
+
+/** Row-major dense matrix. */
+class Matrix
+{
+  public:
+    Matrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+    {}
+
+    double &at(std::size_t r, std::size_t c)
+    {
+        return data_[r * cols_ + c];
+    }
+    double at(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+  private:
+    std::size_t rows_;
+    std::size_t cols_;
+    std::vector<double> data_;
+};
+
+/**
+ * Solve A x = b by Gaussian elimination with partial pivoting.
+ * A is consumed (modified in place).  Panics on a singular system.
+ */
+std::vector<double> solveLinear(Matrix a, std::vector<double> b);
+
+/**
+ * Stationary distribution of a continuous-time chain with generator Q
+ * (q[i][j] = rate i->j for i != j; diagonal ignored and rebuilt):
+ * solves pi Q = 0 with sum(pi) = 1.
+ */
+std::vector<double> stationaryDistribution(const Matrix &rates);
+
+} // namespace dir2b
+
+#endif // DIR2B_MODEL_LINEAR_HH

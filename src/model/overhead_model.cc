@@ -1,0 +1,99 @@
+#include "model/overhead_model.hh"
+
+#include "util/logging.hh"
+
+namespace dir2b
+{
+
+OverheadBreakdown
+overhead(const SharingParams &p)
+{
+    DIR2B_ASSERT(p.n >= 2, "overhead model needs at least two caches");
+    const double n1 = static_cast<double>(p.n - 1);
+    const double n2 = static_cast<double>(p.n - 2);
+    const double presentAny = p.pP1 + p.pPM + p.pPStar;
+    DIR2B_ASSERT(presentAny > 0.0,
+                 "T_WH conditional probability needs P(P1)+P(PM)+P(P*)"
+                 " > 0");
+
+    OverheadBreakdown out;
+    out.tRM = n2 * p.q * (1.0 - p.w) * (1.0 - p.h) * p.pPM;
+    out.tWM = n2 * p.q * p.w * (1.0 - p.h) * (p.pPM + p.pP1) +
+              n1 * p.q * p.w * (1.0 - p.h) * p.pPStar;
+    out.tWH = n1 * p.q * p.w * p.h * p.pPStar / presentAny;
+    out.tSUM = out.tRM + out.tWM + out.tWH;
+    out.perCache = n1 * out.tSUM;
+    return out;
+}
+
+SharingParams
+sharingCase(SharingLevel level, unsigned n, double w)
+{
+    SharingParams p;
+    p.n = n;
+    p.w = w;
+    switch (level) {
+      case SharingLevel::Low:
+        p.q = 0.01;
+        p.h = 0.95;
+        p.pP1 = 0.06;
+        p.pPStar = 0.01;
+        p.pPM = 0.03;
+        break;
+      case SharingLevel::Moderate:
+        p.q = 0.05;
+        p.h = 0.90;
+        p.pP1 = 0.25;
+        p.pPStar = 0.05;
+        p.pPM = 0.10;
+        break;
+      case SharingLevel::High:
+        p.q = 0.10;
+        p.h = 0.80;
+        p.pP1 = 0.35;
+        p.pPStar = 0.10;
+        p.pPM = 0.35;
+        break;
+    }
+    return p;
+}
+
+std::string
+toString(SharingLevel level)
+{
+    switch (level) {
+      case SharingLevel::Low:
+        return "low sharing";
+      case SharingLevel::Moderate:
+        return "moderate sharing";
+      case SharingLevel::High:
+        return "high sharing";
+    }
+    DIR2B_PANIC("unknown sharing level");
+}
+
+const std::vector<unsigned> &
+table41ProcessorCounts()
+{
+    static const std::vector<unsigned> counts = {4, 8, 16, 32, 64};
+    return counts;
+}
+
+const std::vector<double> &
+table41WriteProbs()
+{
+    static const std::vector<double> probs = {0.1, 0.2, 0.3, 0.4};
+    return probs;
+}
+
+std::vector<double>
+table41Row(SharingLevel level, double w)
+{
+    std::vector<double> row;
+    row.reserve(table41ProcessorCounts().size());
+    for (unsigned n : table41ProcessorCounts())
+        row.push_back(overhead(sharingCase(level, n, w)).perCache);
+    return row;
+}
+
+} // namespace dir2b

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The paper's closed-form overhead model (§4.2) and Table 4-1.
+ *
+ * Extra commands per memory request incurred by the two-bit scheme
+ * relative to the full map:
+ *
+ *   T_RM = (n-2) q (1-w)(1-h) P(PM)
+ *   T_WM = (n-2) q w (1-h) (P(PM)+P(P1)) + (n-1) q w (1-h) P(P*)
+ *   T_WH = (n-1) q w h P(P*) / (P(P1)+P(PM)+P(P*))
+ *   T_SUM = T_RM + T_WM + T_WH
+ *
+ * and the per-cache overhead Table 4-1 reports is (n-1) T_SUM.  The
+ * three sharing cases of §4.3 are provided as presets.
+ */
+
+#ifndef DIR2B_MODEL_OVERHEAD_MODEL_HH
+#define DIR2B_MODEL_OVERHEAD_MODEL_HH
+
+#include <string>
+#include <vector>
+
+namespace dir2b
+{
+
+/** Parameters of the §4.2 model. */
+struct SharingParams
+{
+    /** Number of caches (n). */
+    unsigned n = 4;
+    /** Probability the next reference is to a shared block (q). */
+    double q = 0.05;
+    /** Probability a shared reference is a write (w). */
+    double w = 0.2;
+    /** Hit ratio of shared blocks (h). */
+    double h = 0.90;
+    /** Probability a shared block is in state Present1. */
+    double pP1 = 0.25;
+    /** Probability a shared block is in state Present*. */
+    double pPStar = 0.05;
+    /** Probability a shared block is in state PresentM. */
+    double pPM = 0.10;
+};
+
+/** The four components of the overhead expression. */
+struct OverheadBreakdown
+{
+    double tRM = 0.0;
+    double tWM = 0.0;
+    double tWH = 0.0;
+    double tSUM = 0.0;
+    /** The tabulated quantity (n-1) * T_SUM. */
+    double perCache = 0.0;
+};
+
+/** Evaluate the §4.2 closed form. */
+OverheadBreakdown overhead(const SharingParams &p);
+
+/** §4.3's named sharing levels. */
+enum class SharingLevel { Low, Moderate, High };
+
+/** The preset (q, h, P(P1), P(P*), P(PM)) of a §4.3 case; n and w are
+ *  filled with the given values. */
+SharingParams sharingCase(SharingLevel level, unsigned n, double w);
+
+/** Human-readable case name ("low sharing" etc.). */
+std::string toString(SharingLevel level);
+
+/** The processor counts Table 4-1 sweeps. */
+const std::vector<unsigned> &table41ProcessorCounts();
+
+/** The write probabilities Table 4-1 sweeps. */
+const std::vector<double> &table41WriteProbs();
+
+/** One row of Table 4-1: (n-1) T_SUM for each n at fixed case and w. */
+std::vector<double> table41Row(SharingLevel level, double w);
+
+} // namespace dir2b
+
+#endif // DIR2B_MODEL_OVERHEAD_MODEL_HH

@@ -1,0 +1,209 @@
+#include "model/sharing_chain.hh"
+
+#include "model/linear.hh"
+#include "util/logging.hh"
+
+namespace dir2b
+{
+
+double
+evictRateFromGeometry(unsigned n, std::size_t cacheBlocks,
+                      double replacementRate)
+{
+    DIR2B_ASSERT(n > 0 && cacheBlocks > 0,
+                 "evictRateFromGeometry needs n, cacheBlocks > 0");
+    return replacementRate /
+           (static_cast<double>(n) * static_cast<double>(cacheBlocks));
+}
+
+namespace
+{
+
+void
+validate(const ChainParams &p)
+{
+    DIR2B_ASSERT(p.n >= 2, "chain needs at least two caches");
+    DIR2B_ASSERT(p.q >= 0.0 && p.q <= 1.0 && p.w >= 0.0 && p.w <= 1.0,
+                 "chain probabilities out of range");
+    DIR2B_ASSERT(p.sharedBlocks > 0, "chain needs shared blocks");
+    DIR2B_ASSERT(p.evictRate >= 0.0, "negative eviction rate");
+}
+
+} // namespace
+
+FullMapChainResult
+solveFullMapChain(const ChainParams &p)
+{
+    validate(p);
+    const double n = static_cast<double>(p.n);
+    const double r = p.q / static_cast<double>(p.sharedBlocks);
+    const double lam = p.evictRate;
+
+    // States: 0..n -> (c copies, clean); n+1 -> (1 copy, dirty).
+    const std::size_t dirty = p.n + 1;
+    const std::size_t ns = p.n + 2;
+    Matrix rates(ns, ns);
+
+    for (unsigned c = 0; c <= p.n; ++c) {
+        const double holderFrac = static_cast<double>(c) / n;
+        // Read miss by a non-holder: one more clean copy, no command.
+        if (c < p.n)
+            rates.at(c, c + 1) += r * (1.0 - p.w) * (1.0 - holderFrac);
+        // Any write collapses the block to (1, dirty): a holder write
+        // invalidates the other c-1 copies, a non-holder write miss
+        // invalidates all c (rewards are accumulated from pi below).
+        rates.at(c, dirty) += r * p.w;
+        // Eviction of one clean copy.
+        if (c >= 1)
+            rates.at(c, c - 1) += static_cast<double>(c) * lam;
+    }
+    // Dirty state (1 copy, modified).
+    {
+        const double holderFrac = 1.0 / n;
+        // Read miss by a non-owner: purge (1 command) -> (2, clean).
+        rates.at(dirty, 2) += r * (1.0 - p.w) * (1.0 - holderFrac);
+        // Write miss by a non-owner: purge, stays dirty (self-loop:
+        // no generator entry; its reward is added to cmdRate below).
+        // Eviction: write-back, -> absent.
+        rates.at(dirty, 0) += lam;
+    }
+
+    const auto pi = stationaryDistribution(rates);
+
+    // Expected command rate per memory reference for ONE block: sum
+    // over states of (rate x commands), including self-loop events
+    // that the generator cannot carry.
+    double cmdRate = 0.0;
+    double meanCopies = 0.0;
+    for (unsigned c = 0; c <= p.n; ++c) {
+        const double holderFrac = static_cast<double>(c) / n;
+        meanCopies += pi[c] * static_cast<double>(c);
+        if (c >= 1) {
+            // Write hit by holder invalidates c-1 others.
+            cmdRate += pi[c] * r * p.w * holderFrac *
+                       static_cast<double>(c - 1);
+            // Write miss by non-holder invalidates c others.
+            cmdRate += pi[c] * r * p.w * (1.0 - holderFrac) *
+                       static_cast<double>(c);
+        }
+    }
+    {
+        const double holderFrac = 1.0 / n;
+        meanCopies += pi[dirty] * 1.0;
+        // Read miss on dirty: one purge.
+        cmdRate += pi[dirty] * r * (1.0 - p.w) * (1.0 - holderFrac);
+        // Write miss on dirty: one purge (self-loop event).
+        cmdRate += pi[dirty] * r * p.w * (1.0 - holderFrac);
+    }
+
+    FullMapChainResult out;
+    // Commands for one block, scaled to all S identical blocks.
+    out.tR = cmdRate * static_cast<double>(p.sharedBlocks);
+    out.perCache = (n - 1.0) * out.tR;
+    out.meanCopies = meanCopies;
+    out.hitRatio = meanCopies / n;
+    out.pDirty = pi[dirty];
+    return out;
+}
+
+TwoBitChainResult
+solveTwoBitChain(const ChainParams &p)
+{
+    validate(p);
+    const double n = static_cast<double>(p.n);
+    const double r = p.q / static_cast<double>(p.sharedBlocks);
+    const double lam = p.evictRate;
+
+    // States: 0 = Absent; 1 = Present1 (c = 1);
+    //         2 + c = Present* with c copies, c = 0..n;
+    //         n + 3 = PresentM (c = 1).
+    const std::size_t absent = 0;
+    const std::size_t p1 = 1;
+    auto star = [](unsigned c) { return static_cast<std::size_t>(2 + c); };
+    const std::size_t pm = p.n + 3;
+    const std::size_t ns = p.n + 4;
+    Matrix rates(ns, ns);
+
+    // Absent.
+    rates.at(absent, p1) += r * (1.0 - p.w);
+    rates.at(absent, pm) += r * p.w; // write miss, no broadcast
+
+    // Present1 (one clean copy).
+    {
+        const double holderFrac = 1.0 / n;
+        rates.at(p1, star(2)) += r * (1.0 - p.w) * (1.0 - holderFrac);
+        rates.at(p1, pm) += r * p.w; // holder MREQUEST (free) or
+                                     // non-holder write miss (n-2
+                                     // useless); both land in PM
+        rates.at(p1, absent) += lam; // EJECT reclaims Present1
+    }
+
+    // Present*(c), c = 0..n.
+    for (unsigned c = 0; c <= p.n; ++c) {
+        const double holderFrac = static_cast<double>(c) / n;
+        if (c < p.n)
+            rates.at(star(c), star(c + 1)) +=
+                r * (1.0 - p.w) * (1.0 - holderFrac);
+        rates.at(star(c), pm) += r * p.w; // BROADINV then PresentM
+        if (c >= 1)
+            rates.at(star(c), star(c - 1)) +=
+                static_cast<double>(c) * lam; // clean eject, stays *
+        // Note: Present* never returns to Absent except through PM.
+    }
+
+    // PresentM (one modified copy).
+    {
+        const double holderFrac = 1.0 / n;
+        rates.at(pm, star(2)) += r * (1.0 - p.w) * (1.0 - holderFrac);
+        // Write by non-owner: BROADQUERY(write), stays PM (self-loop).
+        rates.at(pm, absent) += lam; // dirty eject + write-back
+    }
+
+    const auto pi = stationaryDistribution(rates);
+
+    // Useless-command rate per memory reference for one block.
+    double useless = 0.0;
+    double meanCopies = 0.0;
+    {
+        // Present1: write miss by the non-holder -> n-2 useless.
+        const double holderFrac = 1.0 / n;
+        meanCopies += pi[p1];
+        useless += pi[p1] * r * p.w * (1.0 - holderFrac) * (n - 2.0);
+    }
+    for (unsigned c = 0; c <= p.n; ++c) {
+        const double holderFrac = static_cast<double>(c) / n;
+        meanCopies += pi[star(c)] * static_cast<double>(c);
+        // Write hit by a holder: BROADINV reaches n-1, c-1 useful.
+        if (c >= 1) {
+            useless += pi[star(c)] * r * p.w * holderFrac *
+                       (n - static_cast<double>(c));
+        }
+        // Write miss by a non-holder: BROADINV reaches n-1, c useful.
+        useless += pi[star(c)] * r * p.w * (1.0 - holderFrac) *
+                   (n - 1.0 - static_cast<double>(c));
+    }
+    {
+        const double holderFrac = 1.0 / n;
+        meanCopies += pi[pm];
+        // Read miss by non-owner: BROADQUERY, n-2 useless.
+        useless += pi[pm] * r * (1.0 - p.w) * (1.0 - holderFrac) *
+                   (n - 2.0);
+        // Write miss by non-owner: BROADQUERY(write), n-2 useless.
+        useless += pi[pm] * r * p.w * (1.0 - holderFrac) * (n - 2.0);
+    }
+
+    TwoBitChainResult out;
+    out.pAbsent = pi[absent];
+    out.pP1 = pi[p1];
+    for (unsigned c = 0; c <= p.n; ++c)
+        out.pPStar += pi[star(c)];
+    out.pPM = pi[pm];
+    out.pStarEmpty = pi[star(0)];
+    out.tSum = useless * static_cast<double>(p.sharedBlocks);
+    out.perCache = (n - 1.0) * out.tSum;
+    out.meanCopies = meanCopies;
+    out.hitRatio = meanCopies / n;
+    return out;
+}
+
+} // namespace dir2b

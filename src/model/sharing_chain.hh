@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Markov-chain models of a shared block's global state.
+ *
+ * Both Table 4-2 and the state-occupancy probabilities the paper
+ * assumes in §4.3 derive from the stochastic evolution of one shared
+ * block under the merged reference model: references arrive at rate
+ * q/S per system memory reference, are writes with probability w, come
+ * from a uniformly random processor (so a block with c copies is hit
+ * by a holder with probability c/n), and each holder evicts the block
+ * at rate evictRate per memory reference.
+ *
+ * Two chains over that process:
+ *
+ *  FullMapChain  states (c, clean) for c=0..n and (1, dirty); rewards
+ *      are the *directed* commands a full map sends (invalidations and
+ *      purges).  Its command rate is the Dubois-Briggs T_R, and
+ *      (n-1) * T_R is the paper's Table 4-2 approximation of the
+ *      two-bit overhead.  (The 1982 model's internals are not
+ *      reprinted in the paper; this is our reconstruction — see
+ *      DESIGN.md §5.)
+ *
+ *  TwoBitChain  states Absent, Present1, Present*(c) for c=0..n, and
+ *      PresentM, following the *directory's* encoding including the
+ *      "Present* with zero copies" anomaly.  Occupancies give P(P1),
+ *      P(P*), P(PM) from first principles (the probabilities §4.3
+ *      assumes), and rewards count the useless broadcast deliveries,
+ *      giving an independent prediction of T_SUM.
+ */
+
+#ifndef DIR2B_MODEL_SHARING_CHAIN_HH
+#define DIR2B_MODEL_SHARING_CHAIN_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace dir2b
+{
+
+/** Parameters of the single-block stochastic model. */
+struct ChainParams
+{
+    /** Number of caches (n). */
+    unsigned n = 4;
+    /** Probability a reference is to a shared block (q). */
+    double q = 0.05;
+    /** Probability a shared reference is a write (w). */
+    double w = 0.2;
+    /** Number of shared blocks (S); per-block rate is q/S. */
+    std::size_t sharedBlocks = 16;
+    /**
+     * Per-holder eviction rate per system memory reference.  Derived
+     * from geometry via evictRateFromGeometry() unless set directly.
+     */
+    double evictRate = 0.0;
+};
+
+/**
+ * Eviction-rate estimate from cache geometry: a specific holder's
+ * processor issues the next reference with probability 1/n; with
+ * probability replacementRate that reference replaces a line; the
+ * victim is the block in question with probability 1/cacheBlocks.
+ * Table 4-2's caption fixes cacheBlocks = 128.
+ */
+double evictRateFromGeometry(unsigned n, std::size_t cacheBlocks,
+                             double replacementRate = 0.1);
+
+/** Results of solving the full-map chain. */
+struct FullMapChainResult
+{
+    /** Directed coherence commands per memory reference (T_R). */
+    double tR = 0.0;
+    /** The tabulated Table 4-2 quantity (n-1) * T_R. */
+    double perCache = 0.0;
+    /** Expected number of cached copies of a shared block. */
+    double meanCopies = 0.0;
+    /** Implied shared-block hit ratio (E[c]/n). */
+    double hitRatio = 0.0;
+    /** Stationary probability the block is dirty somewhere. */
+    double pDirty = 0.0;
+};
+
+/** Solve the full-map (Dubois-Briggs) chain. */
+FullMapChainResult solveFullMapChain(const ChainParams &p);
+
+/** Results of solving the two-bit directory-state chain. */
+struct TwoBitChainResult
+{
+    /** Stationary occupancies of the directory encoding. */
+    double pAbsent = 0.0;
+    double pP1 = 0.0;
+    double pPStar = 0.0;
+    double pPM = 0.0;
+    /** Probability of the anomalous Present*-with-zero-copies state. */
+    double pStarEmpty = 0.0;
+    /** Useless broadcast deliveries per memory reference (predicted
+     *  T_SUM, all S blocks combined). */
+    double tSum = 0.0;
+    /** The Table 4-1 quantity (n-1) * T_SUM. */
+    double perCache = 0.0;
+    /** Expected copies and hit ratio, as in the full-map chain. */
+    double meanCopies = 0.0;
+    double hitRatio = 0.0;
+};
+
+/** Solve the two-bit directory-state chain. */
+TwoBitChainResult solveTwoBitChain(const ChainParams &p);
+
+} // namespace dir2b
+
+#endif // DIR2B_MODEL_SHARING_CHAIN_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Interconnection-network saturation model — the paper's stated
+ * future work.
+ *
+ * §4.3: "Of more concern is the effect of the broadcasts on traffic in
+ * the interconnection network. ... Short of simulation, there are few
+ * alternatives to determine the effects of this traffic.  This will be
+ * investigated in future studies, but we assume here that for values
+ * of (n-1)T_SUM less than 1.0 this traffic is not prohibitive."
+ *
+ * This module supplies the missing analysis with the standard tool of
+ * the era: an open M/M/1 approximation of each memory-module port.
+ * Per memory reference a processor generates a base message load
+ * (misses, write-backs, data transfers) plus the two-bit scheme's
+ * broadcast commands; given a port service rate, the model yields
+ * utilisation, mean queueing delay, and the processor count at which
+ * the network saturates — making the paper's "not prohibitive below
+ * 1.0" rule quantitative.  bench_timed's measured port-wait cycles
+ * provide the simulation cross-check.
+ */
+
+#ifndef DIR2B_MODEL_TRAFFIC_MODEL_HH
+#define DIR2B_MODEL_TRAFFIC_MODEL_HH
+
+#include "model/overhead_model.hh"
+
+namespace dir2b
+{
+
+/** Inputs of the network-load model. */
+struct TrafficParams
+{
+    /** Sharing/overhead model parameters (n, q, w, h, P(*)). */
+    SharingParams sharing{};
+    /** Overall miss ratio of the reference stream. */
+    double missRatio = 0.05;
+    /** Fraction of misses causing a dirty write-back. */
+    double writebackFrac = 0.3;
+    /** References issued per processor per cycle (cache-hit speed). */
+    double refsPerCycle = 0.5;
+    /** Messages one network/module port can accept per cycle. */
+    double portServiceRate = 1.0;
+    /** Number of memory modules the load spreads over. */
+    unsigned modules = 4;
+};
+
+/** Outputs of the network-load model. */
+struct TrafficResult
+{
+    /** Messages per memory reference, without coherence overhead. */
+    double baseMsgsPerRef = 0.0;
+    /** Extra broadcast messages per reference (two-bit overhead). */
+    double broadcastMsgsPerRef = 0.0;
+    /** Offered load per port, in messages per cycle. */
+    double portLoad = 0.0;
+    /** Port utilisation rho (load / service); >= 1 means saturated. */
+    double utilisation = 0.0;
+    /** Mean M/M/1 queueing delay per message, in cycles (infinite
+     *  when saturated). */
+    double queueDelay = 0.0;
+    /** True if the offered load exceeds the service rate. */
+    bool saturated = false;
+};
+
+/** Evaluate the model for one configuration. */
+TrafficResult networkLoad(const TrafficParams &p);
+
+/**
+ * Largest processor count (power-of-two sweep up to 'limit') for which
+ * the network stays unsaturated, holding everything else fixed.
+ */
+unsigned saturationProcessorCount(TrafficParams p, unsigned limit = 256);
+
+} // namespace dir2b
+
+#endif // DIR2B_MODEL_TRAFFIC_MODEL_HH

@@ -1,0 +1,68 @@
+#include "net/message.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace dir2b
+{
+
+std::string
+toString(MsgKind kind)
+{
+    switch (kind) {
+      case MsgKind::Request:
+        return "REQUEST";
+      case MsgKind::MRequest:
+        return "MREQUEST";
+      case MsgKind::Eject:
+        return "EJECT";
+      case MsgKind::BroadInv:
+        return "BROADINV";
+      case MsgKind::BroadQuery:
+        return "BROADQUERY";
+      case MsgKind::MGranted:
+        return "MGRANTED";
+      case MsgKind::GetData:
+        return "get";
+      case MsgKind::PutData:
+        return "put";
+      case MsgKind::Invalidate:
+        return "INVALIDATE";
+      case MsgKind::Purge:
+        return "PURGE";
+      case MsgKind::InvAck:
+        return "INVACK";
+    }
+    DIR2B_PANIC("unknown MsgKind ", static_cast<int>(kind));
+}
+
+std::string
+toString(const Message &m)
+{
+    std::ostringstream os;
+    os << toString(m.kind) << "(proc=" << m.proc << ",a=" << m.addr;
+    switch (m.kind) {
+      case MsgKind::Request:
+      case MsgKind::Eject:
+      case MsgKind::BroadQuery:
+      case MsgKind::Purge:
+        os << "," << (m.rw == RW::Read ? "read" : "write");
+        break;
+      case MsgKind::MGranted:
+        os << "," << (m.granted ? "yes" : "no");
+        break;
+      case MsgKind::GetData:
+      case MsgKind::PutData:
+        os << ",data=" << m.data;
+        break;
+      default:
+        break;
+    }
+    if (m.broadcast)
+        os << ",bcast";
+    os << ")";
+    return os.str();
+}
+
+} // namespace dir2b

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The command and data-transfer vocabulary of the paper's Table 3-1.
+ *
+ * Control commands (capitals in the paper) and data transfers (italics
+ * in the paper) exchanged between processor-cache pairs (P_k - C_k) and
+ * memory-controller/memory pairs (K_j - M_j):
+ *
+ *   P_k - C_k side          |  C_k - K_j side
+ *   ------------------------+---------------------------------
+ *   LOAD(a,d)               |  REQUEST(k,a,rw)
+ *   STORE(a,d)              |  MREQUEST(k,a)
+ *   VALIDHIT(a,h_or_m,b_k)  |  EJECT(k,olda,wb)
+ *   ld(a,b_k)               |  put(b_k,olda)
+ *   st(a,b_k)               |  SETSTATE(a,st)      [K_j internal]
+ *   setmod(b_k)             |  BROADINV(a,k)       [K_j -> all C_i]
+ *                           |  BROADQUERY(a,rw)    [K_j -> all C_i]
+ *                           |  MGRANTED(k,y_or_n)
+ *                           |  get(k,a)
+ *                           |  put(b_i,a)
+ *
+ * The processor-local commands (LOAD/STORE/VALIDHIT/ld/st/setmod) are
+ * realised as the Processor/CacheController call interface in the timed
+ * tier; the network-visible ones appear here as Message payloads.
+ * SETSTATE is a directory-internal action and is modelled as the
+ * controllers' state writes (counted, not transmitted).
+ */
+
+#ifndef DIR2B_NET_MESSAGE_HH
+#define DIR2B_NET_MESSAGE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hh"
+
+namespace dir2b
+{
+
+/** Network-visible message kinds (Table 3-1). */
+enum class MsgKind : std::uint8_t
+{
+    /** REQUEST(k,a,rw): cache k misses block a; rw selects read/write. */
+    Request,
+    /** MREQUEST(k,a): cache k wants to modify its clean copy of a. */
+    MRequest,
+    /** EJECT(k,olda,wb): cache k replaces olda; wb selects read/write
+     *  (write means a put with the dirty data follows). */
+    Eject,
+    /** BROADINV(a,k): invalidate a everywhere except cache k. */
+    BroadInv,
+    /** BROADQUERY(a,rw): the (unknown) owner of a must respond with a
+     *  put; rw=read downgrades the owner, rw=write invalidates it. */
+    BroadQuery,
+    /** MGRANTED(k,y_or_n): reply to MREQUEST. */
+    MGranted,
+    /** get(k,a): block data from memory controller to cache k. */
+    GetData,
+    /** put(b,a): block data from a cache to its home controller. */
+    PutData,
+    /** INVALIDATE(a,i): full-map directed invalidation (the n+1-bit
+     *  scheme's selective counterpart of BROADINV). */
+    Invalidate,
+    /** PURGE(a,i,rw): full-map directed owner query (the selective
+     *  counterpart of BROADQUERY). */
+    Purge,
+    /** INVACK(a,k): cache k has processed a BROADINV/INVALIDATE for
+     *  block a.  Not in the paper's Table 3-1: the timed tier adds
+     *  acknowledged invalidations to close the in-flight-MREQUEST
+     *  race that §3.2.5's queue deletion alone cannot (see
+     *  timed/dir_ctrl.hh); the functional tier, like the paper's
+     *  §4.2 accounting, is ack-free. */
+    InvAck,
+};
+
+/** Read/write discriminator carried by REQUEST/EJECT/BROADQUERY/PURGE. */
+enum class RW : std::uint8_t { Read, Write };
+
+/** One message in flight on the interconnection network. */
+struct Message
+{
+    MsgKind kind = MsgKind::Request;
+    /** Issuing/affected cache (the paper's k), or invalidProc. */
+    ProcId proc = invalidProc;
+    /** Block address (the paper's a or olda). */
+    Addr addr = invalidAddr;
+    /** Read/write discriminator where applicable. */
+    RW rw = RW::Read;
+    /** Grant flag for MGRANTED. */
+    bool granted = false;
+    /** Block contents for get/put. */
+    Value data = 0;
+    /** True if this copy was delivered as part of a broadcast. */
+    bool broadcast = false;
+};
+
+/** Mnemonic (paper spelling) for a message kind. */
+std::string toString(MsgKind kind);
+
+/** Render a message for traces and test failure output. */
+std::string toString(const Message &m);
+
+} // namespace dir2b
+
+#endif // DIR2B_NET_MESSAGE_HH

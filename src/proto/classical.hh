@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The classical broadcast solution (paper §2.3).
+ *
+ * Write-through caches; every store broadcasts the written block
+ * address to all other caches, which invalidate a matching copy.  Main
+ * memory is therefore always current and misses are always serviced
+ * from memory.  Used by the dual-processor IBM 370/168 and 3033.
+ *
+ * The scheme needs no directory at all (directoryBitsPerBlock() == 0)
+ * but pays with invalidation traffic proportional to the *entire*
+ * write stream — the degradation the paper calls "the most damaging
+ * drawback".  An optional per-cache BIAS memory absorbs repeated
+ * invalidations for the same block (§2.3's Bean et al. reference).
+ */
+
+#ifndef DIR2B_PROTO_CLASSICAL_HH
+#define DIR2B_PROTO_CLASSICAL_HH
+
+#include <vector>
+
+#include "cache/bias_filter.hh"
+#include "proto/protocol.hh"
+
+namespace dir2b
+{
+
+/** Functional-tier classical write-through broadcast protocol. */
+class ClassicalProtocol : public Protocol
+{
+  public:
+    explicit ClassicalProtocol(const ProtoConfig &cfg);
+
+    unsigned directoryBitsPerBlock() const override { return 0; }
+
+    void checkInvariants() const override;
+
+    /** Invalidations absorbed by the BIAS filters. */
+    std::uint64_t biasAbsorbed() const;
+
+  protected:
+    Value doAccess(ProcId k, Addr a, bool write, Value wval) override;
+
+  private:
+    std::vector<BiasFilter> bias_;
+};
+
+} // namespace dir2b
+
+#endif // DIR2B_PROTO_CLASSICAL_HH

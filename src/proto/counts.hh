@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Command and traffic accounting for the functional protocol tier.
+ *
+ * The paper's evaluation (§4.2) counts "extra cache commands" — the
+ * broadcast deliveries that reach caches holding no copy of the block
+ * and therefore do pure overhead work.  AccessCounts captures that
+ * quantity (uselessCmds) together with every other event class the
+ * experiments report, using one consistent convention across all eight
+ * protocols:
+ *
+ *  - a broadcast reaching n-1 caches contributes n-1 broadcastCmds, of
+ *    which those at caches without a copy are uselessCmds;
+ *  - a directed command (full-map INVALIDATE/PURGE) contributes one
+ *    directedCmds and must hit a real copy;
+ *  - every block movement (memory or cache-to-cache) is a dataTransfer;
+ *  - netMessages counts each point-to-point delivery on the network.
+ */
+
+#ifndef DIR2B_PROTO_COUNTS_HH
+#define DIR2B_PROTO_COUNTS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace dir2b
+{
+
+/** Event counters accumulated over a run (or a single access delta). */
+struct AccessCounts
+{
+    // Reference classification.
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t readHits = 0;
+    std::uint64_t readMisses = 0;
+    std::uint64_t writeHits = 0;
+    std::uint64_t writeMisses = 0;
+    /** Write hits on clean lines (the paper's §3.2.4 situation). */
+    std::uint64_t writeHitsClean = 0;
+
+    // Coherence transactions.
+    std::uint64_t requests = 0;    ///< REQUEST commands issued
+    std::uint64_t mrequests = 0;   ///< MREQUEST commands issued
+    std::uint64_t ejects = 0;      ///< EJECT notifications issued
+    std::uint64_t setstates = 0;   ///< directory SETSTATE operations
+
+    // Commands reaching caches.
+    std::uint64_t broadcasts = 0;     ///< broadcast operations
+    std::uint64_t broadcastCmds = 0;  ///< deliveries of those broadcasts
+    std::uint64_t uselessCmds = 0;    ///< deliveries that found no copy
+    std::uint64_t directedCmds = 0;   ///< full-map style directed cmds
+    std::uint64_t invalidations = 0;  ///< cache copies invalidated
+    std::uint64_t purges = 0;         ///< owner downgrades/flushes
+
+    // Data movement.
+    std::uint64_t writebacks = 0;      ///< dirty data returned to memory
+    std::uint64_t memReads = 0;        ///< block fetches from memory
+    std::uint64_t memWrites = 0;       ///< block writes to memory
+    std::uint64_t cacheTransfers = 0;  ///< cache-to-cache supplies
+    std::uint64_t dataTransfers = 0;   ///< all get/put block movements
+    std::uint64_t wordWrites = 0;      ///< write-through word traffic
+
+    // Overheads at caches.
+    std::uint64_t stolenCycles = 0;  ///< cache cycles taken by remote cmds
+    std::uint64_t snoopChecks = 0;   ///< bus-scheme per-miss tag checks
+    std::uint64_t filteredCmds = 0;  ///< absorbed by BIAS/snoop filters
+
+    // Scheme-specific bookkeeping.
+    std::uint64_t dirUpdates = 0;   ///< Tang central-copy update msgs
+    std::uint64_t dirSearches = 0;  ///< Tang per-request directory scans
+    std::uint64_t tbHits = 0;       ///< translation-buffer hits (§4.4)
+    std::uint64_t tbMisses = 0;     ///< translation-buffer misses
+
+    std::uint64_t netMessages = 0;  ///< total point-to-point deliveries
+
+    /** Total references. */
+    std::uint64_t refs() const { return reads + writes; }
+
+    /** Total misses. */
+    std::uint64_t misses() const { return readMisses + writeMisses; }
+
+    /** Overall miss ratio. */
+    double
+    missRatio() const
+    {
+        return refs() ? static_cast<double>(misses()) / refs() : 0.0;
+    }
+
+    /** The paper's T_SUM estimate: extra commands per memory request. */
+    double
+    uselessPerRef() const
+    {
+        return refs() ? static_cast<double>(uselessCmds) / refs() : 0.0;
+    }
+
+    AccessCounts &operator+=(const AccessCounts &o);
+    AccessCounts operator-(const AccessCounts &o) const;
+
+    /**
+     * Visit every field with its name (for uniform stat dumps).
+     * The visitor receives (name, value).
+     */
+    static void forEachField(
+        const AccessCounts &c,
+        const std::function<void(const char *, std::uint64_t)> &fn);
+};
+
+} // namespace dir2b
+
+#endif // DIR2B_PROTO_COUNTS_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Full distributed map (Censier & Feautrier 1978; paper §2.4.2).
+ *
+ * Each memory block carries a presence bit per cache plus one modified
+ * bit (n+1 bits).  The directory therefore always knows the exact
+ * holder set: commands are *directed* — INVALIDATE(a,i) to each actual
+ * holder, PURGE(a,i,rw) to the actual owner — and no cache ever
+ * receives a useless command.  This is the baseline against which the
+ * paper measures the two-bit scheme's extra broadcast overhead, and
+ * the reference point for invariants: every directed command we send
+ * is asserted to hit a real copy.
+ */
+
+#ifndef DIR2B_PROTO_FULL_MAP_HH
+#define DIR2B_PROTO_FULL_MAP_HH
+
+#include <unordered_map>
+
+#include "net/message.hh"
+#include "proto/protocol.hh"
+#include "util/bitset.hh"
+
+namespace dir2b
+{
+
+/** One full-map directory entry: presence vector + modified bit. */
+struct FullMapEntry
+{
+    DynBitset present;
+    bool modified = false;
+
+    explicit FullMapEntry(std::size_t n) : present(n) {}
+};
+
+/** Functional-tier full-map directory protocol. */
+class FullMapProtocol : public Protocol
+{
+  public:
+    explicit FullMapProtocol(const ProtoConfig &cfg);
+
+    unsigned
+    directoryBitsPerBlock() const override
+    {
+        return static_cast<unsigned>(cfg_.numProcs) + 1;
+    }
+
+    void checkInvariants() const override;
+
+    /** §2.2 context-switch flush with exact bit clearing. */
+    void flushCache(ProcId p) override;
+
+    /** Directory entry for block a (Absent-equivalent if missing). */
+    const FullMapEntry *entry(Addr a) const;
+
+  protected:
+    explicit FullMapProtocol(const std::string &name,
+                             const ProtoConfig &cfg);
+
+    Value doAccess(ProcId k, Addr a, bool write, Value wval) override;
+
+    /**
+     * Hook: the Tang duplicated-directory variant reports every
+     * directory-relevant cache change to the central controller and
+     * searches all duplicates per request; the plain full map does
+     * neither.
+     */
+    virtual void onDirectoryTouch(Addr) {}
+    virtual void onCacheChange(ProcId) {}
+
+    FullMapEntry &entryFor(Addr a);
+
+    /** Directed INVALIDATE to every holder except 'except'. */
+    void invalidateHolders(Addr a, FullMapEntry &e, ProcId except);
+
+    /** Directed PURGE(a, owner, rw); returns the owner's data. */
+    Value purgeOwner(Addr a, FullMapEntry &e, RW rw);
+
+    /** §3.2.1-equivalent replacement with exact bit clearing. */
+    void replaceVictim(ProcId k, Addr a);
+
+  private:
+    std::unordered_map<Addr, FullMapEntry> map_;
+};
+
+} // namespace dir2b
+
+#endif // DIR2B_PROTO_FULL_MAP_HH

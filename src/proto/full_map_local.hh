@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Full map with added local state (Yen & Fu 1982; paper §2.4.3).
+ *
+ * Extends the Censier-Feautrier map with a local *exclusive-clean*
+ * state: a cache that is known to hold the only copy of an unmodified
+ * block may write it "without first consulting the global table".
+ * The cost is that the directory's modified bit can be stale — a
+ * sole-holder block may have been silently upgraded — so any remote
+ * request for a block with exactly one presence bit must query the
+ * owner regardless of the modified bit (the "additional
+ * synchronization problems (not fully resolved in [10])" the paper
+ * alludes to; in this atomic tier the query resolves them).
+ *
+ * Relative to the plain full map this trades MREQUEST round trips on
+ * write hits against extra owner queries on remote accesses to
+ * sole-holder blocks — measured head-to-head in bench_protocol_comparison.
+ */
+
+#ifndef DIR2B_PROTO_FULL_MAP_LOCAL_HH
+#define DIR2B_PROTO_FULL_MAP_LOCAL_HH
+
+#include <unordered_map>
+
+#include "net/message.hh"
+#include "proto/protocol.hh"
+#include "util/bitset.hh"
+
+namespace dir2b
+{
+
+/** Directory entry: presence vector; modified bit may be stale when
+ *  exactly one presence bit is set. */
+struct LocalMapEntry
+{
+    DynBitset present;
+    /** True if the directory *knows* the block is modified.  With one
+     *  presence bit set the truth may be "more modified" than this. */
+    bool modified = false;
+
+    explicit LocalMapEntry(std::size_t n) : present(n) {}
+};
+
+/** Functional-tier Yen-Fu protocol (full map + exclusive-clean). */
+class FullMapLocalProtocol : public Protocol
+{
+  public:
+    explicit FullMapLocalProtocol(const ProtoConfig &cfg);
+
+    unsigned
+    directoryBitsPerBlock() const override
+    {
+        return static_cast<unsigned>(cfg_.numProcs) + 1;
+    }
+
+    void checkInvariants() const override;
+
+    /** Silent Exclusive->Modified upgrades performed (the scheme's
+     *  whole point; zero messages each). */
+    std::uint64_t silentUpgrades() const { return silentUpgrades_; }
+
+  protected:
+    Value doAccess(ProcId k, Addr a, bool write, Value wval) override;
+
+  private:
+    LocalMapEntry &entryFor(Addr a);
+
+    /** Query the sole holder: returns its data, writing back if it had
+     *  silently modified the block; downgrades (rw=Read) or
+     *  invalidates (rw=Write) the holder's copy. */
+    Value querySoleHolder(Addr a, LocalMapEntry &e, RW rw);
+
+    void invalidateHolders(Addr a, LocalMapEntry &e, ProcId except);
+    void replaceVictim(ProcId k, Addr a);
+
+    std::unordered_map<Addr, LocalMapEntry> map_;
+    std::uint64_t silentUpgrades_ = 0;
+};
+
+} // namespace dir2b
+
+#endif // DIR2B_PROTO_FULL_MAP_LOCAL_HH

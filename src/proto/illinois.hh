@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The Illinois scheme (Papamarcos & Patel, ISCA 1984; paper ref [5]).
+ *
+ * The contemporaneous "low overhead" bus protocol the paper cites as
+ * the other state-of-the-art snooping solution — today's MESI.  Local
+ * states: Invalid, Shared, Exclusive (clean, sole copy), Modified.
+ * Distinctive features versus write-once: an exclusive-clean fill when
+ * no other cache holds the block (making later writes bus-free), and
+ * cache-to-cache supply of clean blocks.
+ *
+ * As with write-once, the structural cost is that every bus
+ * transaction is snooped by all other caches (snoopChecks), which is
+ * exactly the per-miss broadcast the two-bit directory avoids on
+ * general interconnection networks.
+ */
+
+#ifndef DIR2B_PROTO_ILLINOIS_HH
+#define DIR2B_PROTO_ILLINOIS_HH
+
+#include "proto/protocol.hh"
+
+namespace dir2b
+{
+
+/** Functional-tier Illinois (MESI) protocol. */
+class IllinoisProtocol : public Protocol
+{
+  public:
+    explicit IllinoisProtocol(const ProtoConfig &cfg)
+        : Protocol("illinois", cfg)
+    {}
+
+    unsigned directoryBitsPerBlock() const override { return 0; }
+
+    void checkInvariants() const override;
+
+  protected:
+    Value doAccess(ProcId k, Addr a, bool write, Value wval) override;
+
+  private:
+    void replaceVictim(ProcId k, Addr a);
+    void snoop() { counts_.snoopChecks += cfg_.numProcs - 1; }
+};
+
+} // namespace dir2b
+
+#endif // DIR2B_PROTO_ILLINOIS_HH

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Abstract interface of the functional (transaction-atomic) protocol
+ * tier.
+ *
+ * Each Protocol owns the complete memory-system state of one
+ * multiprocessor: n private caches, the backing store, and whatever
+ * directory structure the scheme requires.  A call to access() performs
+ * one LOAD or STORE *as an atomic transaction* — the serialisation the
+ * paper's controller enforces ("only one request at a time will be
+ * serviced", §3.2.5 option 1) — and accounts every command and data
+ * transfer the scheme would put on the interconnection network.
+ *
+ * Timing-level concurrency (queued controllers, races between
+ * MREQUESTs and BROADINVs, in-flight ejects) is the subject of the
+ * timed tier in src/timed/; this tier is for exact command counting,
+ * coherence oracles and protocol comparison, which is precisely the
+ * setting of the paper's own evaluation model (§4.2).
+ */
+
+#ifndef DIR2B_PROTO_PROTOCOL_HH
+#define DIR2B_PROTO_PROTOCOL_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache_array.hh"
+#include "memory/address_map.hh"
+#include "memory/backing_store.hh"
+#include "proto/counts.hh"
+#include "util/types.hh"
+
+namespace dir2b
+{
+
+/** Configuration shared by every functional protocol. */
+struct ProtoConfig
+{
+    /** Number of processor-cache pairs (the paper's n). */
+    ProcId numProcs = 4;
+    /** Geometry of each private cache. */
+    CacheGeometry cacheGeom{};
+    /** Number of memory modules (directory is distributed over them). */
+    ModuleId numModules = 4;
+    /** Classical scheme: capacity of the per-cache BIAS filter. */
+    std::size_t biasCapacity = 0;
+    /** Classical scheme: write-allocate on write miss. */
+    bool writeAllocate = false;
+    /** Two-bit + translation buffer: TB entries per module (0 = none). */
+    std::size_t tbCapacity = 0;
+    /** Two-bit: duplicate each cache's tag directory so broadcast
+     *  checks for absent blocks steal no cache cycle (§4.4 a). */
+    bool snoopFilter = false;
+    /** Two-bit ablation: drop the Present1 encoding (fold it into
+     *  Present*), isolating the value of the paper's §3.2.1/§3.2.4
+     *  claim that keeping Present1 "will reduce the number of
+     *  broadcasts". */
+    bool noPresent1 = false;
+    /** Software scheme: blocks at or above this address are tagged
+     *  shared-writeable and are never cached. */
+    Addr nonCacheableBase = invalidAddr;
+};
+
+/** Base class of every functional coherence protocol. */
+class Protocol
+{
+  public:
+    Protocol(std::string name, const ProtoConfig &cfg);
+    virtual ~Protocol() = default;
+
+    Protocol(const Protocol &) = delete;
+    Protocol &operator=(const Protocol &) = delete;
+
+    /**
+     * Execute one memory reference as an atomic transaction.
+     *
+     * @param k     issuing processor
+     * @param a     block address
+     * @param write true for STORE, false for LOAD
+     * @param wval  block contents after a STORE (ignored for LOAD)
+     * @return the value read (LOAD) or now stored (STORE)
+     */
+    Value access(ProcId k, Addr a, bool write, Value wval = 0);
+
+    /** Scheme name ("two_bit", "full_map", ...). */
+    const std::string &name() const { return name_; }
+
+    /** Cumulative event counts. */
+    const AccessCounts &counts() const { return counts_; }
+
+    /** Counts delta of the most recent access() call. */
+    const AccessCounts &lastDelta() const { return lastDelta_; }
+
+    /** Per-cache view: commands received from other caches' activity. */
+    std::uint64_t
+    cmdsReceivedBy(ProcId p) const
+    {
+        return recvCmds_.at(p);
+    }
+
+    /** Per-cache view: useless commands received. */
+    std::uint64_t
+    uselessReceivedBy(ProcId p) const
+    {
+        return recvUseless_.at(p);
+    }
+
+    /** References issued by processor p. */
+    std::uint64_t refsIssuedBy(ProcId p) const { return refsBy_.at(p); }
+
+    /** Caches whose array currently holds a valid copy of block a. */
+    std::vector<ProcId> holders(Addr a) const;
+
+    /** Current memory contents of block a (oracle support). */
+    Value memValue(Addr a) const { return mem_.peek(a); }
+
+    /** Read-only view of processor p's cache. */
+    const CacheArray &cache(ProcId p) const { return caches_.at(p); }
+
+    /** Backing store (for traffic counters). */
+    const BackingStore &memory() const { return mem_; }
+
+    ProcId numProcs() const { return cfg_.numProcs; }
+    const ProtoConfig &config() const { return cfg_; }
+
+    /**
+     * Directory storage cost in bits per memory block — the economy
+     * axis of the paper's comparison (2 vs n+1).
+     */
+    virtual unsigned directoryBitsPerBlock() const = 0;
+
+    /**
+     * Deep consistency check between the directory structures and the
+     * cache arrays; panics on violation.  Tests call this after every
+     * access.
+     */
+    virtual void checkInvariants() const = 0;
+
+    /**
+     * Flush processor p's cache: write every dirty line back and drop
+     * every copy, updating the directory — the §2.2 context-switch
+     * operation ("cache flush and possibly writebacks at context
+     * switch").  Counted as EJECTs.  Not every scheme supports it;
+     * the default fatals.
+     */
+    virtual void flushCache(ProcId p);
+
+  protected:
+    /** Scheme-specific transaction body. */
+    virtual Value doAccess(ProcId k, Addr a, bool write, Value wval) = 0;
+
+    /** Record a command delivery at cache p (stolen cycle accounting
+     *  and the per-cache received-command view).  stealsCycle is
+     *  false when a duplicate tag directory absorbed the check. */
+    void deliverCmd(ProcId p, bool useful, bool stealsCycle = true);
+
+    ProtoConfig cfg_;
+    AddressMap addrMap_;
+    std::vector<CacheArray> caches_;
+    BackingStore mem_;
+    AccessCounts counts_;
+
+  private:
+    std::string name_;
+    AccessCounts lastDelta_;
+    std::vector<std::uint64_t> recvCmds_;
+    std::vector<std::uint64_t> recvUseless_;
+    std::vector<std::uint64_t> refsBy_;
+};
+
+} // namespace dir2b
+
+#endif // DIR2B_PROTO_PROTOCOL_HH

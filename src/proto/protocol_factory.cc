@@ -1,0 +1,58 @@
+#include "proto/protocol_factory.hh"
+
+#include "core/two_bit_protocol.hh"
+#include "core/two_bit_tb_protocol.hh"
+#include "core/two_bit_wt_protocol.hh"
+#include "proto/classical.hh"
+#include "proto/dup_dir.hh"
+#include "proto/full_map.hh"
+#include "proto/full_map_local.hh"
+#include "proto/illinois.hh"
+#include "proto/software.hh"
+#include "proto/write_once.hh"
+#include "util/logging.hh"
+
+namespace dir2b
+{
+
+std::unique_ptr<Protocol>
+makeProtocol(const std::string &name, const ProtoConfig &cfg)
+{
+    if (name == "two_bit")
+        return std::make_unique<TwoBitProtocol>(cfg);
+    if (name == "two_bit_nop1") {
+        ProtoConfig ablated = cfg;
+        ablated.noPresent1 = true;
+        return std::make_unique<TwoBitProtocol>("two_bit_nop1",
+                                                ablated);
+    }
+    if (name == "two_bit_tb")
+        return std::make_unique<TwoBitTbProtocol>(cfg);
+    if (name == "two_bit_wt")
+        return std::make_unique<TwoBitWtProtocol>(cfg);
+    if (name == "full_map")
+        return std::make_unique<FullMapProtocol>(cfg);
+    if (name == "full_map_local")
+        return std::make_unique<FullMapLocalProtocol>(cfg);
+    if (name == "dup_dir")
+        return std::make_unique<DupDirProtocol>(cfg);
+    if (name == "classical")
+        return std::make_unique<ClassicalProtocol>(cfg);
+    if (name == "write_once")
+        return std::make_unique<WriteOnceProtocol>(cfg);
+    if (name == "illinois")
+        return std::make_unique<IllinoisProtocol>(cfg);
+    if (name == "software")
+        return std::make_unique<SoftwareProtocol>(cfg);
+    DIR2B_FATAL("unknown protocol '", name, "'");
+}
+
+std::vector<std::string>
+protocolNames()
+{
+    return {"two_bit",    "two_bit_tb", "two_bit_wt",
+            "full_map",   "full_map_local", "dup_dir",
+            "classical",  "write_once", "illinois", "software"};
+}
+
+} // namespace dir2b

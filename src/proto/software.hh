@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Static, software-enforced solution (paper §2.2).
+ *
+ * Every memory block carries a compile/link-time tag: code, private
+ * data, or public (shared-writeable) data.  Public blocks are *never
+ * cached* — "on a cache miss to a public block, no loading in the
+ * cache takes place, and hence the public data is always up-to-date in
+ * main memory".  Private and read-only blocks are cached write-back
+ * with no coherence mechanism at all.
+ *
+ * The tag is modelled by ProtoConfig::nonCacheableBase: blocks at or
+ * above it are public.  The classification contract — a private block
+ * is only ever written by one processor — is asserted at runtime so
+ * that a generator violating the software scheme's premise fails loudly
+ * instead of silently producing incoherent results (the contract is
+ * what "software enforced" means).
+ */
+
+#ifndef DIR2B_PROTO_SOFTWARE_HH
+#define DIR2B_PROTO_SOFTWARE_HH
+
+#include <unordered_map>
+
+#include "proto/protocol.hh"
+
+namespace dir2b
+{
+
+/** Functional-tier static software scheme. */
+class SoftwareProtocol : public Protocol
+{
+  public:
+    explicit SoftwareProtocol(const ProtoConfig &cfg);
+
+    unsigned directoryBitsPerBlock() const override { return 0; }
+
+    void checkInvariants() const override;
+
+    /** True if block a is tagged public (shared-writeable). */
+    bool
+    isPublic(Addr a) const
+    {
+        return a >= cfg_.nonCacheableBase;
+    }
+
+  protected:
+    Value doAccess(ProcId k, Addr a, bool write, Value wval) override;
+
+  private:
+    /** First (and only legal) writer of each private block. */
+    std::unordered_map<Addr, ProcId> privateWriter_;
+};
+
+} // namespace dir2b
+
+#endif // DIR2B_PROTO_SOFTWARE_HH

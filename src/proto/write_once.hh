@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Goodman's write-once bus protocol (1983; paper §2.5).
+ *
+ * The paper reads write-once as "a decentralization of the cache
+ * directory duplication method with the addition of an added local
+ * state, while at the same time taking advantage of the broadcast
+ * feature of the classical solution".  Local states:
+ *
+ *   Invalid, Valid (clean, possibly shared), Reserved (written exactly
+ *   once, written through, memory current, sole copy), Dirty (written
+ *   more than once, memory stale, sole copy).
+ *
+ * Every miss is a bus transaction observed by *all* other caches —
+ * the per-miss snooping cost the two-bit scheme avoids ("these signals
+ * are only necessary in the case of actual sharing ... and not on
+ * every cache miss as in the bus schemes", §3.1).  We count those tag
+ * checks as snoopChecks; caches are assumed to have the duplicate
+ * (dual-ported) tag directory Goodman proposed, so a snoop steals a
+ * processor cycle only when action is required.
+ *
+ * Transitions follow Archibald & Baer's own later survey (ACM TOCS
+ * 1986) where the ISCA text leaves detail open.
+ */
+
+#ifndef DIR2B_PROTO_WRITE_ONCE_HH
+#define DIR2B_PROTO_WRITE_ONCE_HH
+
+#include "proto/protocol.hh"
+
+namespace dir2b
+{
+
+/** Functional-tier write-once protocol. */
+class WriteOnceProtocol : public Protocol
+{
+  public:
+    explicit WriteOnceProtocol(const ProtoConfig &cfg)
+        : Protocol("write_once", cfg)
+    {}
+
+    /** Bus schemes keep no per-memory-block directory state. */
+    unsigned directoryBitsPerBlock() const override { return 0; }
+
+    void checkInvariants() const override;
+
+  protected:
+    Value doAccess(ProcId k, Addr a, bool write, Value wval) override;
+
+  private:
+    /** Write back and drop the victim frame for block a, if valid. */
+    void replaceVictim(ProcId k, Addr a);
+
+    /** All other caches observe one bus transaction. */
+    void snoop() { counts_.snoopChecks += cfg_.numProcs - 1; }
+};
+
+} // namespace dir2b
+
+#endif // DIR2B_PROTO_WRITE_ONCE_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The timed tier of dir2b (controllers, networks, processors) runs on a
+ * single global event queue.  Events scheduled for the same tick fire
+ * in FIFO order of scheduling, which makes runs bit-for-bit
+ * deterministic regardless of heap internals.
+ */
+
+#ifndef DIR2B_SIM_EVENT_QUEUE_HH
+#define DIR2B_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/types.hh"
+
+namespace dir2b
+{
+
+/** Global FIFO-stable discrete-event queue. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Number of events executed so far. */
+    std::uint64_t executed() const { return executed_; }
+
+    /** Number of events currently pending. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /** Schedule a callback at an absolute tick >= now(). */
+    void
+    scheduleAt(Tick when, Callback cb)
+    {
+        DIR2B_ASSERT(when >= now_, "scheduling event in the past: ", when,
+                     " < ", now_);
+        heap_.push(Entry{when, seq_++, std::move(cb)});
+    }
+
+    /** Schedule a callback delay ticks from now. */
+    void
+    schedule(Tick delay, Callback cb)
+    {
+        scheduleAt(now_ + delay, std::move(cb));
+    }
+
+    /**
+     * Run until the queue drains or maxEvents have executed.
+     * @return true if the queue drained, false if the budget expired
+     *         (the usual sign of livelock in a protocol under test).
+     */
+    bool
+    run(std::uint64_t maxEvents = ~0ULL)
+    {
+        std::uint64_t budget = maxEvents;
+        while (!heap_.empty()) {
+            if (budget-- == 0)
+                return false;
+            Entry e = heap_.top();
+            heap_.pop();
+            DIR2B_ASSERT(e.when >= now_, "event queue time warp");
+            now_ = e.when;
+            ++executed_;
+            e.cb();
+        }
+        return true;
+    }
+
+    /** Drop all pending events (end of a run). */
+    void
+    reset()
+    {
+        heap_ = {};
+        now_ = 0;
+        seq_ = 0;
+        executed_ = 0;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace dir2b
+
+#endif // DIR2B_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,137 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace dir2b
+{
+
+Histogram::Histogram(std::uint64_t bucketWidth, std::size_t nbuckets)
+    : bucketWidth_(bucketWidth), buckets_(nbuckets + 1, 0)
+{
+    DIR2B_ASSERT(bucketWidth > 0, "histogram bucket width must be > 0");
+    DIR2B_ASSERT(nbuckets > 0, "histogram needs at least one bucket");
+}
+
+void
+Histogram::sample(std::uint64_t v)
+{
+    std::size_t idx = static_cast<std::size_t>(v / bucketWidth_);
+    if (idx >= buckets_.size() - 1)
+        idx = buckets_.size() - 1;
+    ++buckets_[idx];
+    ++count_;
+    sum_ += static_cast<double>(v);
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+}
+
+std::uint64_t
+Histogram::percentile(double frac) const
+{
+    DIR2B_ASSERT(frac >= 0.0 && frac <= 1.0, "percentile out of range");
+    if (count_ == 0)
+        return 0;
+    const auto target = static_cast<std::uint64_t>(
+        frac * static_cast<double>(count_));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= target) {
+            if (i == buckets_.size() - 1)
+                return max_;
+            return (i + 1) * bucketWidth_ - 1;
+        }
+    }
+    return max_;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    sum_ = 0;
+    min_ = ~0ULL;
+    max_ = 0;
+}
+
+void
+StatGroup::addCounter(std::string name, const Counter *c, std::string desc)
+{
+    entries_.push_back(
+        Entry{Kind::Count, std::move(name), std::move(desc), c});
+}
+
+void
+StatGroup::addMean(std::string name, const Mean *m, std::string desc)
+{
+    entries_.push_back(
+        Entry{Kind::Avg, std::move(name), std::move(desc), m});
+}
+
+void
+StatGroup::addHistogram(std::string name, const Histogram *h,
+                        std::string desc)
+{
+    entries_.push_back(
+        Entry{Kind::Hist, std::move(name), std::move(desc), h});
+}
+
+void
+StatGroup::addDerived(std::string name, double (*fn)(const void *),
+                      const void *ctx, std::string desc)
+{
+    Entry e{Kind::Derived, std::move(name), std::move(desc), ctx};
+    e.fn = fn;
+    entries_.push_back(std::move(e));
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    auto line = [&](const std::string &stat, const std::string &value,
+                    const std::string &desc) {
+        os << std::left << std::setw(40) << (name_ + "." + stat) << " "
+           << std::right << std::setw(16) << value;
+        if (!desc.empty())
+            os << "  # " << desc;
+        os << "\n";
+    };
+
+    for (const auto &e : entries_) {
+        switch (e.kind) {
+          case Kind::Count: {
+            const auto *c = static_cast<const Counter *>(e.ptr);
+            line(e.name, std::to_string(c->value()), e.desc);
+            break;
+          }
+          case Kind::Avg: {
+            const auto *m = static_cast<const Mean *>(e.ptr);
+            std::ostringstream v;
+            v << std::fixed << std::setprecision(4) << m->mean();
+            line(e.name, v.str(), e.desc);
+            break;
+          }
+          case Kind::Hist: {
+            const auto *h = static_cast<const Histogram *>(e.ptr);
+            std::ostringstream v;
+            v << std::fixed << std::setprecision(2) << h->mean() << " ["
+              << h->min() << "," << h->max() << "]";
+            line(e.name, v.str(), e.desc);
+            break;
+          }
+          case Kind::Derived: {
+            std::ostringstream v;
+            v << std::fixed << std::setprecision(4) << e.fn(e.ptr);
+            line(e.name, v.str(), e.desc);
+            break;
+          }
+        }
+    }
+}
+
+} // namespace dir2b

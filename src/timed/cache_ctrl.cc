@@ -1,0 +1,319 @@
+#include "timed/cache_ctrl.hh"
+
+#include "util/logging.hh"
+
+namespace dir2b
+{
+
+TwoBitCacheCtrl::TwoBitCacheCtrl(ProcId id, const TimedConfig &cfg,
+                                 EventQueue &eq, TimedNetwork &net)
+    : id_(id), cfg_(cfg), eq_(eq), net_(net), cache_([&] {
+          CacheGeometry g = cfg.cacheGeom;
+          g.seed = g.seed * 0x9e3779b9ULL + id + 1;
+          return g;
+      }())
+{
+    if (cfg.snoopFilter)
+        snoop_.emplace();
+}
+
+unsigned
+TwoBitCacheCtrl::homeEndpoint(Addr a) const
+{
+    return cfg_.numProcs + static_cast<unsigned>(a % cfg_.numModules);
+}
+
+void
+TwoBitCacheCtrl::sendToHome(Addr a, Message msg)
+{
+    net_.send(id_, homeEndpoint(a), msg);
+}
+
+void
+TwoBitCacheCtrl::fillLine(Addr a, LineState st, Value v)
+{
+    cache_.fill(a, st, v);
+    if (snoop_)
+        snoop_->insert(a);
+}
+
+void
+TwoBitCacheCtrl::dropLine(Addr a)
+{
+    if (cache_.invalidate(a) && snoop_)
+        snoop_->erase(a);
+}
+
+void
+TwoBitCacheCtrl::complete(Value v)
+{
+    DIR2B_ASSERT(txn_, "completing with no transaction");
+    stats_.latency.sample(eq_.now() - txn_->start);
+    Done done = std::move(txn_->done);
+    txn_.reset();
+    done(v);
+}
+
+void
+TwoBitCacheCtrl::processorRequest(const MemRef &ref, Value wval,
+                                  Done done)
+{
+    DIR2B_DEBUG("t=", eq_.now(), " C", id_, " proc ", toString(ref));
+    DIR2B_ASSERT(!txn_, "cache ", id_, " already has an outstanding "
+                 "transaction");
+    DIR2B_ASSERT(ref.proc == id_, "reference routed to wrong cache");
+    txn_ = Txn{Phase::AwaitData, ref, wval, std::move(done), eq_.now()};
+
+    CacheLine *l = cache_.lookup(ref.addr);
+    if (l) {
+        if (!ref.write) {
+            ++stats_.readHits;
+            txn_->phase = Phase::Completing;
+            const Value v = l->value;
+            eq_.schedule(cfg_.cacheLatency, [this, v] { complete(v); });
+            return;
+        }
+        if (l->dirty()) {
+            ++stats_.writeHits;
+            txn_->phase = Phase::Completing;
+            l->value = wval;
+            eq_.schedule(cfg_.cacheLatency,
+                         [this, wval] { complete(wval); });
+            return;
+        }
+        if (tryLocalWrite(l, wval)) {
+            // Silent upgrade (Yen-Fu): no global transaction at all.
+            ++stats_.writeHits;
+            txn_->phase = Phase::Completing;
+            eq_.schedule(cfg_.cacheLatency,
+                         [this, wval] { complete(wval); });
+            return;
+        }
+
+        // §3.2.4: write hit on an unmodified block -> MREQUEST.
+        ++stats_.writeHits;
+        ++stats_.mrequests;
+        txn_->phase = Phase::AwaitGrant;
+        Message m;
+        m.kind = MsgKind::MRequest;
+        m.proc = id_;
+        m.addr = ref.addr;
+        sendToHome(ref.addr, m);
+        return;
+    }
+
+    if (ref.write)
+        ++stats_.writeMisses;
+    else
+        ++stats_.readMisses;
+    startMiss();
+}
+
+void
+TwoBitCacheCtrl::startMiss()
+{
+    const MemRef &ref = txn_->ref;
+
+    // §3.2.1 replacement.
+    CacheLine &victim = cache_.victimFor(ref.addr);
+    if (victim.valid()) {
+        Message ej;
+        ej.kind = MsgKind::Eject;
+        ej.proc = id_;
+        ej.addr = victim.addr;
+        if (victim.dirty()) {
+            ej.rw = RW::Write;
+            ej.data = victim.value;
+            ++stats_.writebacksSent;
+        } else {
+            ej.rw = RW::Read;
+        }
+        sendToHome(victim.addr, ej);
+        dropLine(victim.addr);
+    }
+
+    Message rq;
+    rq.kind = MsgKind::Request;
+    rq.proc = id_;
+    rq.addr = ref.addr;
+    rq.rw = ref.write ? RW::Write : RW::Read;
+    txn_->phase = Phase::AwaitData;
+    sendToHome(ref.addr, rq);
+}
+
+void
+TwoBitCacheCtrl::convertToWriteMiss()
+{
+    // The paper's rule: treat the BROADINV as MGRANTED(k, false); the
+    // processor's next action is REQUEST(k, a, "write").  Our copy was
+    // just invalidated, so the frame is free and no EJECT is needed.
+    ++stats_.mrequestConversions;
+    Message rq;
+    rq.kind = MsgKind::Request;
+    rq.proc = id_;
+    rq.addr = txn_->ref.addr;
+    rq.rw = RW::Write;
+    txn_->phase = Phase::AwaitData;
+    sendToHome(txn_->ref.addr, rq);
+}
+
+void
+TwoBitCacheCtrl::receive(unsigned, const Message &msg)
+{
+    DIR2B_DEBUG("t=", eq_.now(), " C", id_, " recv ", toString(msg));
+    switch (msg.kind) {
+      case MsgKind::GetData:
+        onGetData(msg);
+        return;
+      case MsgKind::MGranted:
+        onMGranted(msg);
+        return;
+      case MsgKind::BroadInv:
+        onBroadInv(msg);
+        return;
+      case MsgKind::BroadQuery:
+        onBroadQuery(msg);
+        return;
+      default:
+        DIR2B_PANIC("cache ", id_, " received unexpected ",
+                    toString(msg));
+    }
+}
+
+void
+TwoBitCacheCtrl::onGetData(const Message &msg)
+{
+    DIR2B_ASSERT(txn_ && txn_->phase == Phase::AwaitData &&
+                     txn_->ref.addr == msg.addr,
+                 "cache ", id_, " got unsolicited data for block ",
+                 msg.addr);
+    const bool write = txn_->ref.write;
+    const Value v = write ? txn_->wval : msg.data;
+    fillLine(msg.addr,
+             write ? LineState::Modified : readFillState(msg), v);
+    txn_->phase = Phase::Completing;
+    eq_.schedule(cfg_.cacheLatency, [this, v] { complete(v); });
+}
+
+void
+TwoBitCacheCtrl::onMGranted(const Message &msg)
+{
+    if (!txn_ || txn_->phase != Phase::AwaitGrant ||
+        txn_->ref.addr != msg.addr) {
+        // Stale reply: the BROADINV that raced us already converted
+        // this transaction into a write miss.
+        ++stats_.staleGrantsIgnored;
+        return;
+    }
+    DIR2B_ASSERT(msg.granted,
+                 "MGRANTED(false) while still holding a valid copy of ",
+                 msg.addr, ": the BROADINV must arrive first (FIFO)");
+    CacheLine *l = cache_.lookup(msg.addr, false);
+    DIR2B_ASSERT(l && !l->dirty(), "grant for block ", msg.addr,
+                 " without a clean local copy");
+    l->state = LineState::Modified;
+    l->value = txn_->wval;
+    // Leave AwaitGrant *now*: a Purge/Invalidate arriving during the
+    // one-cycle completion window must not convert this transaction
+    // (the write is already serialised at the controller).
+    txn_->phase = Phase::Completing;
+    const Value v = txn_->wval;
+    eq_.schedule(cfg_.cacheLatency, [this, v] { complete(v); });
+}
+
+void
+TwoBitCacheCtrl::onBroadInv(const Message &msg)
+{
+    // The parameter k of BROADINV(a,k) names the cache that must NOT
+    // invalidate; the network already excludes it, but check anyway
+    // (§3.2.4: "If it were not there cache k would invalidate the
+    // block it wants to modify!").
+    if (msg.proc == id_)
+        return;
+
+    // Every recipient acknowledges after taking its action (sent at
+    // the end of this handler); the ack necessarily follows any
+    // converted REQUEST on our FIFO link to the controller, which is
+    // what lets the controller flush our stale MREQUEST.
+    if (snoop_ && !snoop_->check(msg.addr)) {
+        DIR2B_ASSERT(!cache_.peek(msg.addr),
+                     "duplicate directory out of sync: filter absorbed "
+                     "BROADINV for resident block ", msg.addr);
+        ++stats_.filteredCmds;
+        sendInvAck(msg.addr);
+        return;
+    }
+    ++stats_.stolenCycles;
+
+    if (txn_ && txn_->phase == Phase::AwaitGrant &&
+        txn_->ref.addr == msg.addr) {
+        // §3.2.5: treat as MGRANTED(id_, false).
+        dropLine(msg.addr);
+        ++stats_.invalidationsApplied;
+        convertToWriteMiss();
+        sendInvAck(msg.addr);
+        return;
+    }
+
+    CacheLine *l = cache_.lookup(msg.addr, false);
+    if (l) {
+        DIR2B_ASSERT(!l->dirty(), "BROADINV hit a dirty copy of ",
+                     msg.addr, " in cache ", id_);
+        dropLine(msg.addr);
+        ++stats_.invalidationsApplied;
+    }
+    sendInvAck(msg.addr);
+}
+
+void
+TwoBitCacheCtrl::sendInvAck(Addr a)
+{
+    Message ack;
+    ack.kind = MsgKind::InvAck;
+    ack.proc = id_;
+    ack.addr = a;
+    sendToHome(a, ack);
+}
+
+void
+TwoBitCacheCtrl::onBroadQuery(const Message &msg)
+{
+    if (msg.proc == id_)
+        return;
+
+    if (snoop_ && !snoop_->check(msg.addr)) {
+        DIR2B_ASSERT(!cache_.peek(msg.addr),
+                     "duplicate directory out of sync: filter absorbed "
+                     "BROADQUERY for resident block ", msg.addr);
+        ++stats_.filteredCmds;
+        return;
+    }
+    ++stats_.stolenCycles;
+
+    CacheLine *l = cache_.lookup(msg.addr, false);
+    if (!l || !l->dirty()) {
+        // Not the owner: the broadcast was a (useless) check.  A block
+        // we ejected moments ago is the EJECT-in-flight race; the
+        // controller consumes our put when it arrives.
+        return;
+    }
+
+    ++stats_.queriesAnswered;
+    Message put;
+    put.kind = MsgKind::PutData;
+    put.proc = id_;
+    put.addr = msg.addr;
+    put.data = l->value;
+    sendToHome(msg.addr, put);
+
+    if (msg.rw == RW::Read) {
+        // §3.2.2: reset the modified bit, keep a clean copy.
+        l->state = LineState::Shared;
+    } else {
+        // §3.2.3: reset the valid bit.
+        dropLine(msg.addr);
+        ++stats_.invalidationsApplied;
+    }
+}
+
+} // namespace dir2b

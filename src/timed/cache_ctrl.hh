@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Timed cache controller for the two-bit directory protocol.
+ *
+ * One controller per processor-cache pair (C_k).  The cache is
+ * blocking (one outstanding processor request — the 1984 design
+ * point), but it must service incoming BROADINV/BROADQUERY commands
+ * at any time, including *while waiting for its own transaction* —
+ * that concurrency is where the paper's synchronization scenario
+ * (§3.2.5) lives:
+ *
+ *   "Upon receipt of BROADINV(i,a), cache j should invalidate its
+ *    copy of a and in effect treat BROADINV as an MGRANTED(j,false).
+ *    Processor j's next action will therefore be a
+ *    REQUEST(j,a,'write')."
+ *
+ * which is exactly what convertToWriteMiss() implements.
+ */
+
+#ifndef DIR2B_TIMED_CACHE_CTRL_HH
+#define DIR2B_TIMED_CACHE_CTRL_HH
+
+#include <functional>
+#include <optional>
+
+#include "cache/cache_array.hh"
+#include "cache/snoop_filter.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "timed/timed_config.hh"
+#include "timed/timed_net.hh"
+#include "trace/reference.hh"
+
+namespace dir2b
+{
+
+/** Per-cache statistics of the timed tier. */
+struct CacheCtrlStats
+{
+    Counter readHits;
+    Counter writeHits;
+    Counter readMisses;
+    Counter writeMisses;
+    Counter mrequests;
+    Counter mrequestConversions; ///< BROADINV treated as MGRANTED(false)
+    Counter staleGrantsIgnored;
+    Counter stolenCycles;  ///< remote commands that cost a cache cycle
+    Counter filteredCmds;  ///< absorbed by the duplicate directory
+    Counter invalidationsApplied;
+    Counter queriesAnswered;
+    Counter writebacksSent;
+    Histogram latency{1, 64}; ///< request latency in cycles
+};
+
+/** Timed two-bit cache controller. */
+class TwoBitCacheCtrl
+{
+  public:
+    using Done = std::function<void(Value)>;
+
+    TwoBitCacheCtrl(ProcId id, const TimedConfig &cfg, EventQueue &eq,
+                    TimedNetwork &net);
+
+    /**
+     * Begin one LOAD/STORE.  Exactly one may be outstanding; the done
+     * callback fires with the read (or stored) value when the
+     * transaction completes.
+     */
+    void processorRequest(const MemRef &ref, Value wval, Done done);
+
+    virtual ~TwoBitCacheCtrl() = default;
+
+    /** Incoming network message (connected by the system builder). */
+    virtual void receive(unsigned src, const Message &msg);
+
+    bool idle() const { return !txn_.has_value(); }
+
+    const CacheCtrlStats &stats() const { return stats_; }
+    const CacheArray &cache() const { return cache_; }
+
+    /** Drain hook for final conservation checks. */
+    void forEachValidLine(
+        const std::function<void(const CacheLine &)> &fn) const
+    {
+        cache_.forEachValid(fn);
+    }
+
+  protected:
+    /** Completing: the outcome is decided and the completion callback
+     *  is scheduled; incoming commands must no longer convert or
+     *  re-answer this transaction. */
+    enum class Phase { AwaitGrant, AwaitData, Completing };
+
+    struct Txn
+    {
+        Phase phase;
+        MemRef ref;
+        Value wval;
+        Done done;
+        Tick start;
+    };
+
+    unsigned homeEndpoint(Addr a) const;
+    void sendToHome(Addr a, Message msg);
+    void complete(Value v);
+    void startMiss();
+    void convertToWriteMiss();
+
+    /**
+     * Protocol hook: attempt a write hit on a clean line without any
+     * global transaction.  The Yen-Fu controller upgrades Exclusive
+     * lines silently here; the base schemes always go to MREQUEST.
+     * @return true if the write completed locally.
+     */
+    virtual bool tryLocalWrite(CacheLine *, Value) { return false; }
+
+    /** Protocol hook: local state for a read-miss fill (Yen-Fu fills
+     *  Exclusive when the controller grants sole ownership). */
+    virtual LineState
+    readFillState(const Message &) const
+    {
+        return LineState::Shared;
+    }
+
+    void sendInvAck(Addr a);
+    void onGetData(const Message &msg);
+    void onMGranted(const Message &msg);
+    void onBroadInv(const Message &msg);
+    void onBroadQuery(const Message &msg);
+
+    /** Fill keeping the duplicate directory in sync. */
+    void fillLine(Addr a, LineState st, Value v);
+    /** Invalidate keeping the duplicate directory in sync. */
+    void dropLine(Addr a);
+
+    ProcId id_;
+    const TimedConfig &cfg_;
+    EventQueue &eq_;
+    TimedNetwork &net_;
+    CacheArray cache_;
+    std::optional<SnoopFilter> snoop_;
+    std::optional<Txn> txn_;
+    CacheCtrlStats stats_;
+};
+
+} // namespace dir2b
+
+#endif // DIR2B_TIMED_CACHE_CTRL_HH

@@ -1,0 +1,236 @@
+#include "timed/dir_ctrl_base.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace dir2b
+{
+
+TimedDirCtrl::TimedDirCtrl(ModuleId id, const TimedConfig &cfg,
+                           EventQueue &eq, TimedNetwork &net)
+    : id_(id), cfg_(cfg), eq_(eq), net_(net)
+{}
+
+std::string
+TimedDirCtrl::stuckReport() const
+{
+    std::ostringstream os;
+    os << "controller " << id_ << ": queue=[";
+    for (const auto &m : queue_)
+        os << " " << toString(m);
+    os << " ] busy=[";
+    for (const auto &[a, b] : busy_) {
+        const char *kind = b.kind == Busy::Kind::AwaitingPut
+                               ? "awaiting put"
+                           : b.kind == Busy::Kind::AwaitingAcks
+                               ? "awaiting acks"
+                               : "supplying";
+        os << " " << a << "(" << kind << ", req " << b.requester << ")";
+    }
+    os << " ]";
+    return os.str();
+}
+
+void
+TimedDirCtrl::receive(unsigned, const Message &msg)
+{
+    if (msg.kind == MsgKind::InvAck) {
+        processInvAck(msg);
+        return;
+    }
+
+    // Puts (and the equivalent in-flight EJECT-with-data) that answer
+    // an outstanding query bypass the queue entirely: in the strictly
+    // serial controller the query blocks everything, so its answer
+    // must not queue behind itself.
+    if (auto it = busy_.find(msg.addr);
+        it != busy_.end() && it->second.kind == Busy::Kind::AwaitingPut) {
+        const bool answers =
+            msg.kind == MsgKind::PutData ||
+            (msg.kind == MsgKind::Eject &&
+             (msg.rw == RW::Write || ejectReadAnswersWait()));
+        if (answers) {
+            DIR2B_DEBUG("t=", eq_.now(), " K", id_,
+                        " put answers wait: ", toString(msg));
+            ++stats_.putsAwaited;
+            const ProcId requester = it->second.requester;
+            const RW rw = it->second.rw;
+            busy_.erase(it);
+            onPutResolved(msg.addr, requester, rw, msg);
+            scheduleDispatch();
+            return;
+        }
+    } else if (msg.kind == MsgKind::PutData) {
+        DIR2B_PANIC("controller ", id_, " received unsolicited ",
+                    toString(msg));
+    }
+
+    queue_.push_back(msg);
+    stats_.queueDepth.sample(queue_.size());
+    scheduleDispatch();
+}
+
+void
+TimedDirCtrl::processInvAck(const Message &msg)
+{
+    auto it = busy_.find(msg.addr);
+    DIR2B_ASSERT(it != busy_.end() &&
+                     it->second.kind == Busy::Kind::AwaitingAcks,
+                 "unsolicited INVACK for block ", msg.addr);
+
+    // The acking cache's possible stale MREQUEST preceded this ack on
+    // its FIFO link, so if one exists it is in the queue now: delete
+    // it (its sender has already converted to a write miss).
+    for (auto qit = queue_.begin(); qit != queue_.end();) {
+        if (qit->kind == MsgKind::MRequest && qit->addr == msg.addr &&
+            qit->proc == msg.proc) {
+            qit = queue_.erase(qit);
+            ++stats_.mreqDeleted;
+        } else {
+            ++qit;
+        }
+    }
+
+    DIR2B_ASSERT(it->second.acksRemaining > 0, "ack underflow");
+    if (--it->second.acksRemaining == 0) {
+        auto done = std::move(it->second.onAcked);
+        busy_.erase(it);
+        done();
+        scheduleDispatch();
+    }
+}
+
+void
+TimedDirCtrl::scheduleDispatch()
+{
+    if (dispatchScheduled_)
+        return;
+    dispatchScheduled_ = true;
+    const Tick when = busyUntil_ > eq_.now() ? busyUntil_ - eq_.now()
+                                             : 0;
+    eq_.schedule(when, [this] {
+        dispatchScheduled_ = false;
+        dispatch();
+    });
+}
+
+void
+TimedDirCtrl::dispatch()
+{
+    if (eq_.now() < busyUntil_) {
+        scheduleDispatch();
+        return;
+    }
+    if (queue_.empty())
+        return;
+
+    // §3.2.5 option 1: strictly serial — while any transaction is in
+    // flight, nothing else is serviced.  Option 2: only commands for
+    // blocks with an active transaction are held back.
+    auto it = queue_.begin();
+    if (!cfg_.perBlockConcurrency) {
+        if (!busy_.empty())
+            return;
+    } else {
+        while (it != queue_.end() && busy_.count(it->addr))
+            ++it;
+        if (it == queue_.end())
+            return;
+    }
+
+    const Message msg = *it;
+    queue_.erase(it);
+    busyUntil_ = eq_.now() + cfg_.dirLatency;
+    DIR2B_DEBUG("t=", eq_.now(), " K", id_, " process ", toString(msg));
+    process(msg);
+    if (!queue_.empty())
+        scheduleDispatch();
+}
+
+void
+TimedDirCtrl::supplyData(ProcId k, Addr a, Value data, bool writeBack,
+                         bool exclusiveGrant)
+{
+    if (writeBack)
+        mem_.write(a, data);
+
+    Message get;
+    get.kind = MsgKind::GetData;
+    get.proc = k;
+    get.addr = a;
+    get.data = data;
+    get.granted = exclusiveGrant;
+
+    // The block stays busy for the memory-access window; only once
+    // the data has left the module may another transaction for it be
+    // dispatched.  FIFO link order then guarantees the new holder has
+    // its copy before any later invalidation or query reaches it.
+    Busy b;
+    b.kind = Busy::Kind::Supplying;
+    b.requester = k;
+    busy_[a] = std::move(b);
+    const unsigned dst = k;
+    eq_.schedule(cfg_.memLatency, [this, dst, get, a] {
+        net_.send(endpoint(), dst, get);
+        busy_.erase(a);
+        scheduleDispatch();
+    });
+}
+
+void
+TimedDirCtrl::awaitPut(Addr a, ProcId requester, RW rw)
+{
+    Busy b;
+    b.kind = Busy::Kind::AwaitingPut;
+    b.requester = requester;
+    b.rw = rw;
+    busy_[a] = std::move(b);
+}
+
+void
+TimedDirCtrl::awaitAcks(Addr a, ProcId requester, unsigned count,
+                        std::function<void()> onAcked)
+{
+    DIR2B_ASSERT(count > 0, "awaitAcks with nothing to wait for");
+    Busy b;
+    b.kind = Busy::Kind::AwaitingAcks;
+    b.requester = requester;
+    b.acksRemaining = count;
+    b.onAcked = std::move(onAcked);
+    busy_[a] = std::move(b);
+}
+
+bool
+TimedDirCtrl::consumeQueuedPut(Addr a, Message &out)
+{
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->kind == MsgKind::Eject && it->addr == a &&
+            (it->rw == RW::Write || ejectReadAnswersWait())) {
+            out = *it;
+            queue_.erase(it);
+            ++stats_.putsConsumed;
+            return true;
+        }
+    }
+    return false;
+}
+
+unsigned
+TimedDirCtrl::deleteQueuedMRequests(Addr a, ProcId except)
+{
+    unsigned deleted = 0;
+    for (auto it = queue_.begin(); it != queue_.end();) {
+        if (it->kind == MsgKind::MRequest && it->addr == a &&
+            it->proc != except) {
+            it = queue_.erase(it);
+            ++deleted;
+        } else {
+            ++it;
+        }
+    }
+    stats_.mreqDeleted.inc(deleted);
+    return deleted;
+}
+
+} // namespace dir2b

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Shared machinery of timed memory controllers (K_j of Figure 3-1).
+ *
+ * Both the two-bit controller and the full-map baseline need the same
+ * §3.2.5 infrastructure:
+ *
+ *  - a request queue with delete-anywhere logic;
+ *  - the serial / per-block-concurrent dispatch disciplines;
+ *  - per-block busy windows: AwaitingPut (a query's data response is
+ *    outstanding), AwaitingAcks (invalidations are being confirmed),
+ *    and Supplying (the data has not left the module yet);
+ *  - consumption of an in-flight EJECT(write) as the put() response
+ *    (the eviction/query race);
+ *  - stale-MREQUEST deletion at INVACK time (a cache's MREQUEST
+ *    always precedes its ack on the same FIFO link, so the ack
+ *    barrier flushes every stale upgrade before anything else can be
+ *    dispatched for the block).
+ *
+ * Subclasses implement process() for their command set and keep their
+ * own directory state; onPutResolved() finishes a query.
+ */
+
+#ifndef DIR2B_TIMED_DIR_CTRL_BASE_HH
+#define DIR2B_TIMED_DIR_CTRL_BASE_HH
+
+#include <functional>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "memory/backing_store.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "timed/timed_config.hh"
+#include "timed/timed_net.hh"
+
+namespace dir2b
+{
+
+/** Statistics shared by every timed controller. */
+struct DirCtrlStats
+{
+    Counter requests;
+    Counter mrequests;
+    Counter ejectsData;      ///< EJECT(write) write-backs applied
+    Counter ejectsIgnored;   ///< EJECT(read) notifications dropped
+    Counter ejectsApplied;   ///< EJECT(read) presence-bit clears (fm)
+    Counter broadInvs;       ///< BROADINV broadcasts (two-bit)
+    Counter broadQueries;    ///< BROADQUERY broadcasts (two-bit)
+    Counter directedInvs;    ///< INVALIDATE directed sends (full map)
+    Counter purges;          ///< PURGE directed sends (full map)
+    Counter grantsTrue;
+    Counter grantsFalse;
+    Counter mreqDeleted;     ///< stale MREQUESTs deleted from queue
+    Counter putsConsumed;    ///< queued EJECT(write) used as put()
+    Counter putsAwaited;     ///< queries resolved by a later put
+    Histogram queueDepth{1, 32};
+};
+
+/** Abstract timed memory controller. */
+class TimedDirCtrl
+{
+  public:
+    TimedDirCtrl(ModuleId id, const TimedConfig &cfg, EventQueue &eq,
+                 TimedNetwork &net);
+    virtual ~TimedDirCtrl() = default;
+
+    /** Incoming network message. */
+    void receive(unsigned src, const Message &msg);
+
+    const DirCtrlStats &stats() const { return stats_; }
+    const BackingStore &memory() const { return mem_; }
+
+    /** True when no request is queued or in flight. */
+    bool quiesced() const { return queue_.empty() && busy_.empty(); }
+
+    /** Render queued and in-flight work (diagnostics). */
+    std::string stuckReport() const;
+
+  protected:
+    /** One block's active transaction. */
+    struct Busy
+    {
+        enum class Kind { Supplying, AwaitingPut, AwaitingAcks };
+        Kind kind;
+        ProcId requester;
+        RW rw;
+        unsigned acksRemaining = 0;
+        std::function<void()> onAcked;
+    };
+
+    /** Dispatch target: handle one dequeued command. */
+    virtual void process(const Message &msg) = 0;
+
+    /**
+     * A put answered a waiting query.  'answer' is the raw message:
+     * a PutData from the queried owner, or the owner's in-flight
+     * EJECT (write — with data — always; read only for protocols
+     * whose queried holder may be clean, see ejectReadAnswersWait()).
+     */
+    virtual void onPutResolved(Addr a, ProcId requester, RW rw,
+                               const Message &answer) = 0;
+
+    /**
+     * Whether a clean EJECT(read) can answer an outstanding query.
+     * False for the two-bit and full-map controllers (they only query
+     * dirty owners); true for Yen-Fu, whose queried sole holder may
+     * hold a clean exclusive copy and eject it while the query is in
+     * flight.
+     */
+    virtual bool ejectReadAnswersWait() const { return false; }
+
+    unsigned endpoint() const { return cfg_.numProcs + id_; }
+
+    /** Memory access + busy supply window + GetData send.  The
+     *  subclass updates its directory state before calling this.
+     *  exclusiveGrant marks the fill exclusive-clean (Yen-Fu). */
+    void supplyData(ProcId k, Addr a, Value data, bool writeBack,
+                    bool exclusiveGrant = false);
+
+    /** Enter the AwaitingPut busy state for block a. */
+    void awaitPut(Addr a, ProcId requester, RW rw);
+
+    /** Enter the AwaitingAcks busy state for block a. */
+    void awaitAcks(Addr a, ProcId requester, unsigned count,
+                   std::function<void()> onAcked);
+
+    /** Pull a queued EJECT for block a out of the queue, if any
+     *  (write always; read only under ejectReadAnswersWait()). */
+    bool consumeQueuedPut(Addr a, Message &out);
+
+    /** Delete queued MREQUEST(j != except, a); returns count. */
+    unsigned deleteQueuedMRequests(Addr a, ProcId except);
+
+    void scheduleDispatch();
+
+    ModuleId id_;
+    const TimedConfig &cfg_;
+    EventQueue &eq_;
+    TimedNetwork &net_;
+    BackingStore mem_;
+    DirCtrlStats stats_;
+
+  private:
+    void dispatch();
+    void processInvAck(const Message &msg);
+
+    std::list<Message> queue_;
+    std::unordered_map<Addr, Busy> busy_;
+    Tick busyUntil_ = 0;
+    bool dispatchScheduled_ = false;
+};
+
+} // namespace dir2b
+
+#endif // DIR2B_TIMED_DIR_CTRL_BASE_HH

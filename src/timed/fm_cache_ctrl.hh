@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Timed cache controller for the full-map protocol.
+ *
+ * The processor-side machinery (blocking transactions, MREQUEST
+ * conversion, eviction protocol, acks) is identical to the two-bit
+ * cache controller; the only difference is that coherence commands
+ * arrive *directed* — INVALIDATE(a,i) instead of BROADINV(a,k) and
+ * PURGE(a,i,rw) instead of BROADQUERY(a,rw) — with the same cache-side
+ * semantics, including the treat-INVALIDATE-as-MGRANTED(false)
+ * conversion rule.  A spurious directed command (stale presence bit
+ * at the controller) finds no copy and is a harmless acknowledged
+ * no-op.
+ */
+
+#ifndef DIR2B_TIMED_FM_CACHE_CTRL_HH
+#define DIR2B_TIMED_FM_CACHE_CTRL_HH
+
+#include "timed/cache_ctrl.hh"
+
+namespace dir2b
+{
+
+/** Timed full-map cache controller. */
+class FmCacheCtrl : public TwoBitCacheCtrl
+{
+  public:
+    using TwoBitCacheCtrl::TwoBitCacheCtrl;
+
+    void
+    receive(unsigned src, const Message &msg) override
+    {
+        switch (msg.kind) {
+          case MsgKind::Invalidate: {
+            // Same semantics as a BROADINV that happens to be
+            // addressed precisely.
+            Message inv = msg;
+            inv.kind = MsgKind::BroadInv;
+            TwoBitCacheCtrl::receive(src, inv);
+            return;
+          }
+          case MsgKind::Purge: {
+            Message q = msg;
+            q.kind = MsgKind::BroadQuery;
+            TwoBitCacheCtrl::receive(src, q);
+            return;
+          }
+          default:
+            TwoBitCacheCtrl::receive(src, msg);
+            return;
+        }
+    }
+};
+
+} // namespace dir2b
+
+#endif // DIR2B_TIMED_FM_CACHE_CTRL_HH

@@ -1,0 +1,99 @@
+#include "timed/timed_net.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace dir2b
+{
+
+TimedNetwork::TimedNetwork(EventQueue &eq, unsigned endpoints,
+                           Tick latency, NetKind kind)
+    : eq_(eq),
+      latency_(latency),
+      kind_(kind),
+      handlers_(endpoints),
+      portFreeAt_(endpoints, 0)
+{}
+
+void
+TimedNetwork::connect(unsigned ep, Handler handler)
+{
+    DIR2B_ASSERT(ep < handlers_.size(), "connect to unknown endpoint ",
+                 ep);
+    handlers_[ep] = std::move(handler);
+}
+
+Tick
+TimedNetwork::claimSlot(unsigned dst)
+{
+    Tick deliverAt = eq_.now() + latency_;
+    switch (kind_) {
+      case NetKind::Ideal:
+        break;
+      case NetKind::Crossbar: {
+        const Tick free = portFreeAt_[dst];
+        if (free > deliverAt) {
+            portWait_.inc(free - deliverAt);
+            deliverAt = free;
+        }
+        portFreeAt_[dst] = deliverAt + 1;
+        break;
+      }
+      case NetKind::Bus: {
+        if (busFreeAt_ > deliverAt) {
+            portWait_.inc(busFreeAt_ - deliverAt);
+            deliverAt = busFreeAt_;
+        }
+        busFreeAt_ = deliverAt + 1;
+        ++busBusy_;
+        break;
+      }
+    }
+    return deliverAt;
+}
+
+void
+TimedNetwork::send(unsigned src, unsigned dst, Message msg)
+{
+    DIR2B_ASSERT(dst < handlers_.size() && handlers_[dst],
+                 "send to unconnected endpoint ", dst);
+    ++messages_;
+    if (msg.kind == MsgKind::GetData || msg.kind == MsgKind::PutData)
+        ++dataMsgs_;
+
+    const Tick deliverAt = claimSlot(dst);
+    eq_.scheduleAt(deliverAt, [this, src, dst, msg] {
+        handlers_[dst](src, msg);
+    });
+}
+
+void
+TimedNetwork::broadcast(unsigned src, const std::vector<unsigned> &dsts,
+                        Message msg)
+{
+    ++broadcasts_;
+    msg.broadcast = true;
+
+    if (kind_ == NetKind::Bus) {
+        // A shared medium delivers a broadcast in ONE bus transaction:
+        // every listener observes the same slot — the free fan-out
+        // that makes the §2.5 bus schemes viable, and that a general
+        // interconnection network does not offer.
+        const Tick deliverAt = claimSlot(0);
+        for (unsigned dst : dsts) {
+            DIR2B_ASSERT(dst < handlers_.size() && handlers_[dst],
+                         "broadcast to unconnected endpoint ", dst);
+            ++messages_;
+            eq_.scheduleAt(deliverAt, [this, src, dst, msg] {
+                handlers_[dst](src, msg);
+            });
+        }
+        return;
+    }
+
+    for (unsigned dst : dsts)
+        send(src, dst, msg);
+}
+
+} // namespace dir2b

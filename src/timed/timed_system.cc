@@ -1,0 +1,251 @@
+#include "timed/timed_system.hh"
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sim/stats.hh"
+
+#include "timed/dir_ctrl.hh"
+#include "timed/fm_cache_ctrl.hh"
+#include "timed/fm_dir_ctrl.hh"
+#include "timed/yf_cache_ctrl.hh"
+#include "timed/yf_dir_ctrl.hh"
+#include "util/logging.hh"
+
+namespace dir2b
+{
+
+TimedSystem::TimedSystem(const TimedConfig &cfg) : cfg_(cfg)
+{
+    if (cfg_.numProcs == 0 || cfg_.numModules == 0)
+        DIR2B_FATAL("timed system needs processors and modules");
+
+    const unsigned endpoints = cfg_.numProcs + cfg_.numModules;
+    net_ = std::make_unique<TimedNetwork>(eq_, endpoints,
+                                          cfg_.netLatency,
+                                          cfg_.network);
+
+    caches_.reserve(cfg_.numProcs);
+    for (ProcId p = 0; p < cfg_.numProcs; ++p) {
+        switch (cfg_.protocol) {
+          case TimedProto::FullMap:
+            caches_.push_back(std::make_unique<FmCacheCtrl>(
+                p, cfg_, eq_, *net_));
+            break;
+          case TimedProto::YenFu:
+            caches_.push_back(std::make_unique<YfCacheCtrl>(
+                p, cfg_, eq_, *net_));
+            break;
+          case TimedProto::TwoBit:
+            caches_.push_back(std::make_unique<TwoBitCacheCtrl>(
+                p, cfg_, eq_, *net_));
+            break;
+        }
+        TwoBitCacheCtrl *cc = caches_.back().get();
+        net_->connect(p, [cc](unsigned src, const Message &m) {
+            cc->receive(src, m);
+        });
+    }
+
+    dirs_.reserve(cfg_.numModules);
+    for (ModuleId m = 0; m < cfg_.numModules; ++m) {
+        switch (cfg_.protocol) {
+          case TimedProto::FullMap:
+            dirs_.push_back(std::make_unique<FmDirCtrl>(
+                m, cfg_, eq_, *net_));
+            break;
+          case TimedProto::YenFu:
+            dirs_.push_back(std::make_unique<YfDirCtrl>(
+                m, cfg_, eq_, *net_));
+            break;
+          case TimedProto::TwoBit:
+            dirs_.push_back(std::make_unique<TwoBitDirCtrl>(
+                m, cfg_, eq_, *net_));
+            break;
+        }
+        TimedDirCtrl *dc = dirs_.back().get();
+        net_->connect(cfg_.numProcs + m,
+                      [dc](unsigned src, const Message &msg) {
+                          dc->receive(src, msg);
+                      });
+    }
+}
+
+TimedSystem::~TimedSystem() = default;
+
+void
+TimedSystem::issueNext(ProcId p)
+{
+    if (remaining_[p] == 0)
+        return;
+    auto ref = source_(p);
+    if (!ref)
+        return;
+    DIR2B_ASSERT(ref->proc == p, "source produced reference for ",
+                 ref->proc, " when asked for ", p);
+    --remaining_[p];
+
+    const bool isWrite = ref->write;
+    const Addr a = ref->addr;
+    const Value wval = isWrite ? oracle_.freshValue() : 0;
+
+    caches_[p]->processorRequest(*ref, wval,
+                                 [this, p, a, isWrite, wval](Value v) {
+        if (isWrite) {
+            DIR2B_ASSERT(v == wval, "write completion value mismatch");
+            oracle_.onWriteComplete(p, a, v);
+        } else {
+            oracle_.onReadComplete(p, a, v);
+        }
+        ++completed_;
+        eq_.schedule(cfg_.thinkTime, [this, p] { issueNext(p); });
+    });
+}
+
+TimedRunResult
+TimedSystem::run(const ProcSource &source, std::uint64_t refsPerProc)
+{
+    source_ = source;
+    remaining_.assign(cfg_.numProcs, refsPerProc);
+
+    for (ProcId p = 0; p < cfg_.numProcs; ++p) {
+        // Stagger the first issues by one tick to avoid an artificial
+        // fully-synchronous start (the §3.2.5 races still occur).
+        eq_.scheduleAt(p % 3, [this, p] { issueNext(p); });
+    }
+
+    if (!eq_.run(cfg_.maxEvents)) {
+        DIR2B_FATAL("timed run exceeded ", cfg_.maxEvents,
+                    " events: protocol livelock? (",
+                    completed_, " refs completed)");
+    }
+
+    for (ModuleId m = 0; m < cfg_.numModules; ++m) {
+        DIR2B_ASSERT(dirs_[m]->quiesced(), "controller ", m,
+                     " did not quiesce: ", dirs_[m]->stuckReport());
+    }
+    checkFinalState();
+
+    TimedRunResult r;
+    r.finalTick = eq_.now();
+    r.refsCompleted = completed_;
+    r.eventsExecuted = eq_.executed();
+    r.netMessages = net_->messagesSent();
+    r.broadcasts = net_->broadcastsSent();
+    r.netWaitCycles = net_->portWaitCycles();
+    r.readsChecked = oracle_.readsChecked();
+    r.writesRecorded = oracle_.writesRecorded();
+
+    double latSum = 0.0;
+    std::uint64_t latCount = 0;
+    for (const auto &cc : caches_) {
+        const auto &s = cc->stats();
+        r.stolenCycles += s.stolenCycles.value();
+        r.filteredCmds += s.filteredCmds.value();
+        r.mrequestConversions += s.mrequestConversions.value();
+        latSum += s.latency.mean() *
+                  static_cast<double>(s.latency.samples());
+        latCount += s.latency.samples();
+    }
+    r.avgLatency = latCount ? latSum / static_cast<double>(latCount)
+                            : 0.0;
+    for (const auto &dc : dirs_) {
+        const auto &s = dc->stats();
+        r.mreqDeleted += s.mreqDeleted.value();
+        r.putsConsumed += s.putsConsumed.value();
+        r.putsAwaited += s.putsAwaited.value();
+        r.grantsFalse += s.grantsFalse.value();
+    }
+    return r;
+}
+
+void
+TimedSystem::dumpStats(std::ostream &os) const
+{
+    for (ProcId p = 0; p < cfg_.numProcs; ++p) {
+        const CacheCtrlStats &s = caches_[p]->stats();
+        StatGroup g("cache" + std::to_string(p));
+        g.addCounter("read_hits", &s.readHits);
+        g.addCounter("write_hits", &s.writeHits);
+        g.addCounter("read_misses", &s.readMisses);
+        g.addCounter("write_misses", &s.writeMisses);
+        g.addCounter("mrequests", &s.mrequests);
+        g.addCounter("mreq_conversions", &s.mrequestConversions,
+                     "BROADINV treated as MGRANTED(false)");
+        g.addCounter("stale_grants_ignored", &s.staleGrantsIgnored);
+        g.addCounter("stolen_cycles", &s.stolenCycles,
+                     "cache cycles taken by remote commands");
+        g.addCounter("filtered_cmds", &s.filteredCmds,
+                     "absorbed by the duplicate directory");
+        g.addCounter("invalidations", &s.invalidationsApplied);
+        g.addCounter("queries_answered", &s.queriesAnswered);
+        g.addCounter("writebacks", &s.writebacksSent);
+        g.addHistogram("latency", &s.latency,
+                       "request latency, cycles");
+        g.dump(os);
+    }
+    for (ModuleId m = 0; m < cfg_.numModules; ++m) {
+        const DirCtrlStats &s = dirs_[m]->stats();
+        StatGroup g("ctrl" + std::to_string(m));
+        g.addCounter("requests", &s.requests);
+        g.addCounter("mrequests", &s.mrequests);
+        g.addCounter("ejects_data", &s.ejectsData);
+        g.addCounter("ejects_ignored", &s.ejectsIgnored);
+        g.addCounter("broad_invs", &s.broadInvs);
+        g.addCounter("broad_queries", &s.broadQueries);
+        g.addCounter("directed_invs", &s.directedInvs);
+        g.addCounter("purges", &s.purges);
+        g.addCounter("grants_true", &s.grantsTrue);
+        g.addCounter("grants_false", &s.grantsFalse);
+        g.addCounter("mreq_deleted", &s.mreqDeleted,
+                     "stale MREQUESTs deleted from the queue");
+        g.addCounter("puts_consumed", &s.putsConsumed,
+                     "queued EJECT(write) used as put()");
+        g.addCounter("puts_awaited", &s.putsAwaited);
+        g.addHistogram("queue_depth", &s.queueDepth);
+        g.dump(os);
+    }
+}
+
+void
+TimedSystem::checkFinalState()
+{
+    // Gather the unique dirty copy (if any) per block; clean copies
+    // must equal memory at quiesce (every downgrade wrote back).
+    std::unordered_map<Addr, Value> dirty;
+    std::unordered_map<Addr, unsigned> dirtyCount;
+
+    auto memValue = [&](Addr a) {
+        const auto m = static_cast<ModuleId>(a % cfg_.numModules);
+        return dirs_[m]->memory().peek(a);
+    };
+
+    for (ProcId p = 0; p < cfg_.numProcs; ++p) {
+        caches_[p]->forEachValidLine([&](const CacheLine &l) {
+            if (l.dirty()) {
+                dirty[l.addr] = l.value;
+                ++dirtyCount[l.addr];
+            } else {
+                DIR2B_ASSERT(l.value == memValue(l.addr),
+                             "clean copy of block ", l.addr,
+                             " in cache ", p,
+                             " differs from memory at quiesce");
+            }
+        });
+    }
+    for (const auto &[a, n] : dirtyCount) {
+        DIR2B_ASSERT(n == 1, "block ", a, " dirty in ", n,
+                     " caches at quiesce");
+    }
+
+    // Every written block's end value (dirty copy, else memory) must
+    // be the newest version the oracle recorded.
+    oracle_.forEachWrittenBlock([&](Addr a) {
+        const auto it = dirty.find(a);
+        oracle_.checkFinal(a, it != dirty.end() ? it->second
+                                                : memValue(a));
+    });
+}
+
+} // namespace dir2b

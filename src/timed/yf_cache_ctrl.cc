@@ -1,0 +1,75 @@
+#include "timed/yf_cache_ctrl.hh"
+
+#include "util/logging.hh"
+
+namespace dir2b
+{
+
+void
+YfCacheCtrl::receive(unsigned src, const Message &msg)
+{
+    switch (msg.kind) {
+      case MsgKind::Purge:
+        onPurge(msg);
+        return;
+      case MsgKind::Invalidate: {
+        // Directed invalidation with BROADINV semantics (only ever
+        // sent to holders of multi-copy — hence clean — blocks).
+        Message inv = msg;
+        inv.kind = MsgKind::BroadInv;
+        TwoBitCacheCtrl::receive(src, inv);
+        return;
+      }
+      default:
+        TwoBitCacheCtrl::receive(src, msg);
+        return;
+    }
+}
+
+void
+YfCacheCtrl::onPurge(const Message &msg)
+{
+    if (snoop_ && !snoop_->check(msg.addr)) {
+        DIR2B_ASSERT(!cache_.peek(msg.addr),
+                     "duplicate directory out of sync on PURGE of ",
+                     msg.addr);
+        // Copy gone: our EJECT is in flight and will answer.
+        ++stats_.filteredCmds;
+        return;
+    }
+    ++stats_.stolenCycles;
+
+    CacheLine *l = cache_.lookup(msg.addr, false);
+    if (!l) {
+        // Raced our ejection; the in-flight EJECT answers the purge
+        // (clean EJECT(read)s answer too — ejectReadAnswersWait()).
+        return;
+    }
+
+    // Answer whether dirty or clean: the controller cannot know which
+    // (the silent upgrade is invisible to it).
+    ++stats_.queriesAnswered;
+    Message put;
+    put.kind = MsgKind::PutData;
+    put.proc = id_;
+    put.addr = msg.addr;
+    put.data = l->value;
+    put.granted = l->dirty(); // "was dirty": controller writes back
+    sendToHome(msg.addr, put);
+
+    if (msg.rw == RW::Read) {
+        // Downgrade: exclusive (clean or silently dirtied) -> Shared.
+        l->state = LineState::Shared;
+    } else {
+        dropLine(msg.addr);
+        ++stats_.invalidationsApplied;
+        if (txn_ && txn_->phase == Phase::AwaitGrant &&
+            txn_->ref.addr == msg.addr) {
+            // §3.2.5 transplanted: the purge doubles as
+            // MGRANTED(false) for our pending upgrade.
+            convertToWriteMiss();
+        }
+    }
+}
+
+} // namespace dir2b

@@ -1,0 +1,17 @@
+#include "trace/reference.hh"
+
+#include <sstream>
+
+namespace dir2b
+{
+
+std::string
+toString(const MemRef &r)
+{
+    std::ostringstream os;
+    os << "P" << r.proc << " " << (r.write ? "W" : "R") << " 0x"
+       << std::hex << r.addr;
+    return os.str();
+}
+
+} // namespace dir2b

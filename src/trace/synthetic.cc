@@ -1,0 +1,75 @@
+#include "trace/synthetic.hh"
+
+#include "util/logging.hh"
+
+namespace dir2b
+{
+
+SyntheticStream::SyntheticStream(const SyntheticConfig &cfg) : cfg_(cfg)
+{
+    if (cfg_.numProcs == 0)
+        DIR2B_FATAL("synthetic stream needs at least one processor");
+    if (cfg_.q < 0.0 || cfg_.q > 1.0 || cfg_.w < 0.0 || cfg_.w > 1.0)
+        DIR2B_FATAL("synthetic stream probabilities must be in [0,1]");
+    if (cfg_.sharedBlocks == 0)
+        DIR2B_FATAL("synthetic stream needs at least one shared block");
+    if (cfg_.hotBlocks > cfg_.privateBlocks)
+        DIR2B_FATAL("hot subset larger than the private working set");
+
+    Rng seeder(cfg_.seed);
+    rngs_.reserve(cfg_.numProcs);
+    for (ProcId p = 0; p < cfg_.numProcs; ++p)
+        rngs_.push_back(seeder.split());
+    lastShared_.assign(cfg_.numProcs, invalidAddr);
+}
+
+MemRef
+SyntheticStream::nextFor(ProcId p)
+{
+    DIR2B_ASSERT(p < cfg_.numProcs, "nextFor unknown processor ", p);
+    Rng &rng = rngs_[p];
+    ++total_;
+
+    if (rng.chance(cfg_.q)) {
+        // Writeable shared block: re-reference the previous one with
+        // probability sharedLocality, else uniform over the S blocks.
+        ++shared_;
+        Addr a;
+        if (lastShared_[p] != invalidAddr &&
+            rng.chance(cfg_.sharedLocality)) {
+            a = lastShared_[p];
+        } else {
+            a = sharedRegionBase + rng.range(cfg_.sharedBlocks);
+        }
+        lastShared_[p] = a;
+        return MemRef{p, a, rng.chance(cfg_.w)};
+    }
+
+    // Private block with two-level locality.
+    Addr offset;
+    if (cfg_.hotBlocks > 0 && rng.chance(cfg_.hotFraction))
+        offset = rng.range(cfg_.hotBlocks);
+    else
+        offset = rng.range(cfg_.privateBlocks);
+    const Addr a = privateRegionBase(p) + offset;
+    return MemRef{p, a, rng.chance(cfg_.privateWriteFrac)};
+}
+
+std::optional<MemRef>
+SyntheticStream::next()
+{
+    const MemRef r = nextFor(turn_);
+    turn_ = static_cast<ProcId>((turn_ + 1) % cfg_.numProcs);
+    return r;
+}
+
+double
+SyntheticStream::measuredSharedFraction()
+    const
+{
+    return total_ ? static_cast<double>(shared_) /
+                        static_cast<double>(total_)
+                  : 0.0;
+}
+
+} // namespace dir2b

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Trace recording and replay.
+ *
+ * Text format, one reference per line:  `<proc> <R|W> <hex-addr>`
+ * with `#` comments and blank lines ignored.  Traces make runs
+ * portable across protocols (replay the identical stream through every
+ * scheme) and debuggable (failing property-test streams can be dumped
+ * and replayed).
+ */
+
+#ifndef DIR2B_TRACE_TRACE_IO_HH
+#define DIR2B_TRACE_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/reference.hh"
+
+namespace dir2b
+{
+
+/** Serialise a reference sequence. */
+void writeTrace(std::ostream &os, const std::vector<MemRef> &refs);
+
+/** Parse a trace; fatal on malformed input. */
+std::vector<MemRef> readTrace(std::istream &is);
+
+/** Parse a single trace line; returns false for blanks/comments. */
+bool parseTraceLine(const std::string &line, MemRef &out);
+
+/** Replay a recorded reference vector as a stream. */
+class VectorStream : public RefStream
+{
+  public:
+    explicit VectorStream(std::vector<MemRef> refs)
+        : refs_(std::move(refs))
+    {}
+
+    std::optional<MemRef>
+    next() override
+    {
+        if (pos_ >= refs_.size())
+            return std::nullopt;
+        return refs_[pos_++];
+    }
+
+    void rewind() { pos_ = 0; }
+    std::size_t size() const { return refs_.size(); }
+
+  private:
+    std::vector<MemRef> refs_;
+    std::size_t pos_ = 0;
+};
+
+/** Record the first n references of any stream into a vector. */
+std::vector<MemRef> recordStream(RefStream &src, std::size_t n);
+
+} // namespace dir2b
+
+#endif // DIR2B_TRACE_TRACE_IO_HH

@@ -1,0 +1,90 @@
+#include "trace/trace_stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <unordered_map>
+
+namespace dir2b
+{
+
+TraceStats
+analyzeTrace(const std::vector<MemRef> &refs)
+{
+    TraceStats s;
+
+    struct BlockInfo
+    {
+        std::uint64_t refs = 0;
+        bool manyTouchers = false;
+        bool manyWriters = false;
+        ProcId firstToucher = invalidProc;
+        ProcId firstWriter = invalidProc;
+    };
+    std::unordered_map<Addr, BlockInfo> blocks;
+
+    for (const MemRef &r : refs) {
+        ++s.refs;
+        if (r.proc >= s.perProc.size())
+            s.perProc.resize(r.proc + 1, 0);
+        ++s.perProc[r.proc];
+        if (r.write)
+            ++s.writes;
+        if (r.addr >= sharedRegionBase) {
+            ++s.sharedRefs;
+            if (r.write)
+                ++s.sharedWrites;
+        }
+
+        BlockInfo &b = blocks[r.addr];
+        ++b.refs;
+        if (b.firstToucher == invalidProc)
+            b.firstToucher = r.proc;
+        else if (b.firstToucher != r.proc)
+            b.manyTouchers = true;
+        if (r.write) {
+            if (b.firstWriter == invalidProc)
+                b.firstWriter = r.proc;
+            else if (b.firstWriter != r.proc)
+                b.manyWriters = true;
+        }
+    }
+
+    s.distinctBlocks = blocks.size();
+    std::uint64_t hottest = 0;
+    for (const auto &[a, b] : blocks) {
+        hottest = std::max(hottest, b.refs);
+        if (b.manyTouchers)
+            ++s.readSharedBlocks;
+        // Write-shared: somebody wrote it and somebody else touched it.
+        if (b.firstWriter != invalidProc &&
+            (b.manyWriters || b.manyTouchers)) {
+            ++s.writeSharedBlocks;
+        }
+    }
+    if (s.refs)
+        s.hottestBlockFrac =
+            static_cast<double>(hottest) / static_cast<double>(s.refs);
+    return s;
+}
+
+void
+printTraceStats(std::ostream &os, const TraceStats &s)
+{
+    os << "references          " << s.refs << "\n"
+       << "writes              " << s.writes << " ("
+       << std::fixed << std::setprecision(3) << s.writeFrac() << ")\n"
+       << "shared refs (q)     " << s.sharedRefs << " (" << s.q()
+       << ")\n"
+       << "shared writes (w)   " << s.sharedWrites << " (" << s.w()
+       << ")\n"
+       << "distinct blocks     " << s.distinctBlocks << "\n"
+       << "read-shared blocks  " << s.readSharedBlocks << "\n"
+       << "write-shared blocks " << s.writeSharedBlocks << "\n"
+       << "hottest block share " << s.hottestBlockFrac << "\n";
+    os << "per-processor refs ";
+    for (std::size_t p = 0; p < s.perProc.size(); ++p)
+        os << " P" << p << "=" << s.perProc[p];
+    os << "\n";
+}
+
+} // namespace dir2b

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Reference-stream analysis.
+ *
+ * Computes, from any trace or recorded stream, the parameters the
+ * paper's models need: the shared-reference fraction q, the shared
+ * write fraction w, per-processor balance, block popularity and the
+ * degree of read/write sharing (how many distinct processors touch or
+ * write each block).  dir2bsim exposes this as --analyze, and it is
+ * how a user fits Table 4-1's model to their own workload.
+ */
+
+#ifndef DIR2B_TRACE_TRACE_STATS_HH
+#define DIR2B_TRACE_TRACE_STATS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "trace/reference.hh"
+
+namespace dir2b
+{
+
+/** Aggregate statistics of one reference sequence. */
+struct TraceStats
+{
+    std::uint64_t refs = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t sharedRefs = 0;   ///< refs at/above sharedRegionBase
+    std::uint64_t sharedWrites = 0;
+    std::uint64_t distinctBlocks = 0;
+    /** Blocks referenced by >= 2 distinct processors. */
+    std::uint64_t readSharedBlocks = 0;
+    /** Blocks written by one processor and touched by another —
+     *  the references that *require* a coherence mechanism. */
+    std::uint64_t writeSharedBlocks = 0;
+    /** References per processor. */
+    std::vector<std::uint64_t> perProc;
+    /** Largest single-block share of all references. */
+    double hottestBlockFrac = 0.0;
+
+    /** The model's q, as realised by this trace. */
+    double
+    q() const
+    {
+        return refs ? static_cast<double>(sharedRefs) / refs : 0.0;
+    }
+
+    /** The model's w, as realised by this trace. */
+    double
+    w() const
+    {
+        return sharedRefs
+                   ? static_cast<double>(sharedWrites) / sharedRefs
+                   : 0.0;
+    }
+
+    /** Overall write fraction. */
+    double
+    writeFrac() const
+    {
+        return refs ? static_cast<double>(writes) / refs : 0.0;
+    }
+};
+
+/** Analyse a recorded reference sequence. */
+TraceStats analyzeTrace(const std::vector<MemRef> &refs);
+
+/** Human-readable report. */
+void printTraceStats(std::ostream &os, const TraceStats &s);
+
+} // namespace dir2b
+
+#endif // DIR2B_TRACE_TRACE_STATS_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by cache indexing and directories.
+ */
+
+#ifndef DIR2B_UTIL_BITOPS_HH
+#define DIR2B_UTIL_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace dir2b
+{
+
+/** True if x is a power of two (and nonzero). */
+constexpr bool
+isPowerOf2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Floor of log2(x); x must be nonzero. */
+constexpr unsigned
+floorLog2(std::uint64_t x)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+/** Ceiling of log2(x); x must be nonzero. */
+constexpr unsigned
+ceilLog2(std::uint64_t x)
+{
+    return isPowerOf2(x) ? floorLog2(x) : floorLog2(x) + 1;
+}
+
+} // namespace dir2b
+
+#endif // DIR2B_UTIL_BITOPS_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Dynamically sized bitset for directory presence vectors.
+ *
+ * The full-map directory of Censier & Feautrier keeps one presence bit
+ * per cache per block; the number of caches is a runtime parameter, so
+ * std::bitset does not fit.  This is a compact, allocation-light
+ * replacement supporting the handful of operations directories need.
+ */
+
+#ifndef DIR2B_UTIL_BITSET_HH
+#define DIR2B_UTIL_BITSET_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace dir2b
+{
+
+/** Fixed-width-at-construction bit vector. */
+class DynBitset
+{
+  public:
+    DynBitset() = default;
+
+    /** Create a bitset of the given width, all bits clear. */
+    explicit DynBitset(std::size_t nbits)
+        : nbits_(nbits), words_((nbits + 63) / 64, 0)
+    {}
+
+    /** Number of bits in the set. */
+    std::size_t size() const { return nbits_; }
+
+    /** Set bit i. */
+    void
+    set(std::size_t i)
+    {
+        check(i);
+        words_[i >> 6] |= 1ULL << (i & 63);
+    }
+
+    /** Clear bit i. */
+    void
+    reset(std::size_t i)
+    {
+        check(i);
+        words_[i >> 6] &= ~(1ULL << (i & 63));
+    }
+
+    /** Clear every bit. */
+    void
+    clear()
+    {
+        for (auto &w : words_)
+            w = 0;
+    }
+
+    /** Test bit i. */
+    bool
+    test(std::size_t i) const
+    {
+        check(i);
+        return (words_[i >> 6] >> (i & 63)) & 1;
+    }
+
+    /** Number of set bits. */
+    std::size_t
+    count() const
+    {
+        std::size_t n = 0;
+        for (auto w : words_)
+            n += static_cast<std::size_t>(__builtin_popcountll(w));
+        return n;
+    }
+
+    /** True if no bit is set. */
+    bool
+    none() const
+    {
+        for (auto w : words_) {
+            if (w)
+                return false;
+        }
+        return true;
+    }
+
+    /**
+     * Index of the lowest set bit, or size() if none.  Directories use
+     * this to find the single owner of a PresentM block.
+     */
+    std::size_t
+    findFirst() const
+    {
+        for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+            if (words_[wi]) {
+                return (wi << 6) + static_cast<std::size_t>(
+                                       __builtin_ctzll(words_[wi]));
+            }
+        }
+        return nbits_;
+    }
+
+    /** Index of the lowest set bit strictly above i, or size(). */
+    std::size_t
+    findNext(std::size_t i) const
+    {
+        ++i;
+        if (i >= nbits_)
+            return nbits_;
+        std::size_t wi = i >> 6;
+        std::uint64_t w = words_[wi] & (~0ULL << (i & 63));
+        for (;;) {
+            if (w)
+                return (wi << 6) +
+                       static_cast<std::size_t>(__builtin_ctzll(w));
+            if (++wi >= words_.size())
+                return nbits_;
+            w = words_[wi];
+        }
+    }
+
+    bool
+    operator==(const DynBitset &other) const
+    {
+        return nbits_ == other.nbits_ && words_ == other.words_;
+    }
+
+  private:
+    void
+    check([[maybe_unused]] std::size_t i) const
+    {
+        DIR2B_ASSERT(i < nbits_, "DynBitset index ", i, " out of range ",
+                     nbits_);
+    }
+
+    std::size_t nbits_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace dir2b
+
+#endif // DIR2B_UTIL_BITSET_HH

@@ -1,0 +1,72 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace dir2b
+{
+
+TextTable::TextTable(std::vector<std::string> header)
+    : width_(header.size())
+{
+    rows_.push_back(Row{std::move(header), false});
+    addRule();
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    DIR2B_ASSERT(row.size() == width_, "table row width ", row.size(),
+                 " != header width ", width_);
+    rows_.push_back(Row{std::move(row), false});
+}
+
+void
+TextTable::addRule()
+{
+    rows_.push_back(Row{{}, true});
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(width_, 0);
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.cells.size(); ++c)
+            widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+
+    if (!title_.empty())
+        os << title_ << "\n";
+
+    for (const auto &row : rows_) {
+        if (row.rule) {
+            for (std::size_t c = 0; c < width_; ++c) {
+                os << std::string(widths[c] + (c ? 2 : 0), '-');
+            }
+            os << "\n";
+            continue;
+        }
+        for (std::size_t c = 0; c < width_; ++c) {
+            if (c)
+                os << "  ";
+            os << std::setw(static_cast<int>(widths[c]))
+               << (c == 0 ? std::left : std::right) << row.cells[c];
+            os << std::resetiosflags(std::ios::adjustfield);
+        }
+        os << "\n";
+    }
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+} // namespace dir2b

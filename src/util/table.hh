@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Plain-text table formatter used by the benchmark harness to print
+ * reproductions of the paper's tables in the paper's own layout.
+ */
+
+#ifndef DIR2B_UTIL_TABLE_HH
+#define DIR2B_UTIL_TABLE_HH
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dir2b
+{
+
+/** Column-aligned text table with an optional title and column rules. */
+class TextTable
+{
+  public:
+    /** Create a table whose first row is the header. */
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a fully formatted row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a separator rule (rendered as dashes). */
+    void addRule();
+
+    /** Set a caption printed above the table. */
+    void setTitle(std::string title) { title_ = std::move(title); }
+
+    /** Render with aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Format a double with the paper's three-decimal convention. */
+    static std::string num(double v, int precision = 3);
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool rule = false;
+    };
+
+    std::string title_;
+    std::size_t width_;
+    std::vector<Row> rows_;
+};
+
+} // namespace dir2b
+
+#endif // DIR2B_UTIL_TABLE_HH

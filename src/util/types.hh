@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every dir2b module.
+ *
+ * All addresses in dir2b are *block* addresses: the unit of coherence is
+ * the cache block (line), exactly as in Archibald & Baer (ISCA 1984),
+ * where the directory keeps one two-bit entry per memory block.  Byte
+ * offsets within a block (the paper's displacement "d") never influence
+ * coherence decisions, so they are not represented.
+ */
+
+#ifndef DIR2B_UTIL_TYPES_HH
+#define DIR2B_UTIL_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace dir2b
+{
+
+/** Simulated time, in cycles of the discrete-event kernel. */
+using Tick = std::uint64_t;
+
+/** Block-granular memory address (a block id, not a byte address). */
+using Addr = std::uint64_t;
+
+/** Index of a processor-cache pair (P_k - C_k in the paper's Fig. 3-1). */
+using ProcId = std::uint32_t;
+
+/** Index of a memory-module/controller pair (K_j - M_j in Fig. 3-1). */
+using ModuleId = std::uint32_t;
+
+/** Contents of one memory block, modelled as a single 64-bit word. */
+using Value = std::uint64_t;
+
+/** Sentinel for "no processor". */
+constexpr ProcId invalidProc = std::numeric_limits<ProcId>::max();
+
+/** Sentinel for "no address". */
+constexpr Addr invalidAddr = std::numeric_limits<Addr>::max();
+
+/** Sentinel for "never" / "not scheduled". */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/**
+ * Deterministic initial contents of a memory block.
+ *
+ * Every component that needs the pristine value of a block (backing
+ * store, coherence oracle) derives it from this function, so a freshly
+ * built system is coherent by construction without materialising the
+ * whole address space.
+ */
+constexpr Value
+initialValue(Addr a)
+{
+    // SplitMix64 finalizer: distinct, well-mixed value per block.
+    Value z = a + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace dir2b
+
+#endif // DIR2B_UTIL_TYPES_HH

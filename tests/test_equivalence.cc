@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Observational-equivalence properties between schemes — the strongest
+ * form of several of the paper's claims.
+ *
+ *  1. Two-bit + an infinite translation buffer is *count-for-count*
+ *     identical to the full map on any trace: same invalidations,
+ *     purges, write-backs, memory traffic and directed commands, and
+ *     zero broadcasts/useless commands.  This is §4.4's limiting claim
+ *     ("can achieve any desired approximation of the full bit map
+ *     approach") taken to its limit.
+ *
+ *  2. The two-bit scheme differs from the full map ONLY in command
+ *     delivery: the "forced" work (invalidations applied, write-backs,
+ *     purges, memory traffic, hit/miss classification) is identical on
+ *     any trace — §4.2's premise that "the number of 'forced'
+ *     write-backs and invalidations are independent of the mapping
+ *     method", which the whole overhead derivation rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "proto/protocol_factory.hh"
+#include "system/func_system.hh"
+#include "trace/synthetic.hh"
+#include "trace/trace_io.hh"
+
+namespace dir2b
+{
+namespace
+{
+
+std::vector<MemRef>
+makeTrace(std::uint64_t seed, std::size_t n)
+{
+    SyntheticConfig scfg;
+    scfg.numProcs = 4;
+    scfg.q = 0.3;
+    scfg.w = 0.4;
+    scfg.sharedBlocks = 12;
+    scfg.privateBlocks = 24;
+    scfg.hotBlocks = 8;
+    scfg.seed = seed;
+    SyntheticStream src(scfg);
+    return recordStream(src, n);
+}
+
+AccessCounts
+replayThrough(const std::string &proto, const std::vector<MemRef> &t,
+              std::size_t tbCapacity)
+{
+    ProtoConfig cfg;
+    cfg.numProcs = 4;
+    cfg.cacheGeom.sets = 8;
+    cfg.cacheGeom.ways = 2;
+    cfg.numModules = 2;
+    cfg.tbCapacity = tbCapacity;
+    auto p = makeProtocol(proto, cfg);
+    VectorStream replay(t);
+    RunOptions opts;
+    opts.numRefs = t.size();
+    opts.invariantEvery = 512;
+    runFunctional(*p, replay, opts);
+    return p->counts();
+}
+
+TEST(Equivalence, InfiniteTranslationBufferEqualsFullMapExactly)
+{
+    for (std::uint64_t seed : {42u, 7u, 99u}) {
+        const auto trace = makeTrace(seed, 30000);
+        const AccessCounts tb =
+            replayThrough("two_bit_tb", trace, 1u << 20);
+        const AccessCounts fm = replayThrough("full_map", trace, 0);
+
+        EXPECT_EQ(tb.invalidations, fm.invalidations) << seed;
+        EXPECT_EQ(tb.purges, fm.purges) << seed;
+        EXPECT_EQ(tb.writebacks, fm.writebacks) << seed;
+        EXPECT_EQ(tb.memReads, fm.memReads) << seed;
+        EXPECT_EQ(tb.memWrites, fm.memWrites) << seed;
+        EXPECT_EQ(tb.directedCmds, fm.directedCmds) << seed;
+        EXPECT_EQ(tb.broadcasts, 0u) << seed;
+        EXPECT_EQ(tb.uselessCmds, 0u) << seed;
+        EXPECT_EQ(tb.missRatio(), fm.missRatio()) << seed;
+    }
+}
+
+TEST(Equivalence, ForcedWorkIsMappingIndependent)
+{
+    // §4.2: "the number of 'forced' write-backs and invalidations are
+    // independent of the mapping method" — the two-bit scheme and the
+    // full map must agree on everything except command delivery.
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+        const auto trace = makeTrace(seed, 30000);
+        const AccessCounts tb = replayThrough("two_bit", trace, 0);
+        const AccessCounts fm = replayThrough("full_map", trace, 0);
+
+        EXPECT_EQ(tb.invalidations, fm.invalidations) << seed;
+        EXPECT_EQ(tb.purges, fm.purges) << seed;
+        EXPECT_EQ(tb.writebacks, fm.writebacks) << seed;
+        EXPECT_EQ(tb.memWrites, fm.memWrites) << seed;
+        EXPECT_EQ(tb.readHits, fm.readHits) << seed;
+        EXPECT_EQ(tb.writeHits, fm.writeHits) << seed;
+        EXPECT_EQ(tb.mrequests, fm.mrequests) << seed;
+        // ...and the ONLY difference is the broadcast overhead.
+        EXPECT_GT(tb.uselessCmds, 0u) << seed;
+        EXPECT_EQ(fm.uselessCmds, 0u) << seed;
+    }
+}
+
+TEST(Equivalence, Nop1AblationForcesIdenticalDataMovement)
+{
+    // Dropping Present1 changes commands, never data movement.
+    for (std::uint64_t seed : {5u}) {
+        const auto trace = makeTrace(seed, 30000);
+        const AccessCounts base = replayThrough("two_bit", trace, 0);
+        const AccessCounts ablated =
+            replayThrough("two_bit_nop1", trace, 0);
+        EXPECT_EQ(base.invalidations, ablated.invalidations);
+        EXPECT_EQ(base.writebacks, ablated.writebacks);
+        EXPECT_EQ(base.memWrites, ablated.memWrites);
+        EXPECT_EQ(base.missRatio(), ablated.missRatio());
+        EXPECT_LT(base.broadcasts, ablated.broadcasts);
+    }
+}
+
+} // namespace
+} // namespace dir2b

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace dir2b
+{
+namespace
+{
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAt(30, [&] { order.push_back(3); });
+    eq.scheduleAt(10, [&] { order.push_back(1); });
+    eq.scheduleAt(20, [&] { order.push_back(2); });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.scheduleAt(5, [&order, i] { order.push_back(i); });
+    EXPECT_TRUE(eq.run());
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, RelativeSchedulingUsesNow)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.scheduleAt(100, [&] {
+        eq.schedule(5, [&] { seen = eq.now(); });
+    });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(seen, 105u);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 100)
+            eq.schedule(1, chain);
+    };
+    eq.schedule(0, chain);
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(fired, 100);
+    EXPECT_EQ(eq.executed(), 100u);
+}
+
+TEST(EventQueue, BudgetDetectsLivelock)
+{
+    EventQueue eq;
+    std::function<void()> forever = [&] { eq.schedule(1, forever); };
+    eq.schedule(0, forever);
+    EXPECT_FALSE(eq.run(1000));
+}
+
+TEST(EventQueue, ResetRestoresPristineState)
+{
+    EventQueue eq;
+    eq.scheduleAt(50, [] {});
+    eq.run();
+    eq.reset();
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.executed(), 0u);
+    // Scheduling at a tick earlier than the old now() must work again.
+    bool ran = false;
+    eq.scheduleAt(1, [&] { ran = true; });
+    eq.run();
+    EXPECT_TRUE(ran);
+}
+
+} // namespace
+} // namespace dir2b

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for the snoop filter (§4.4 enhancement a) and the BIAS
+ * invalidation filter (§2.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/bias_filter.hh"
+#include "cache/snoop_filter.hh"
+
+namespace dir2b
+{
+namespace
+{
+
+TEST(SnoopFilter, AbsentBlocksAreFiltered)
+{
+    SnoopFilter f;
+    EXPECT_FALSE(f.check(100));
+    EXPECT_EQ(f.filtered(), 1u);
+    EXPECT_EQ(f.forwarded(), 0u);
+}
+
+TEST(SnoopFilter, ResidentBlocksAreForwarded)
+{
+    SnoopFilter f;
+    f.insert(100);
+    EXPECT_TRUE(f.check(100));
+    EXPECT_EQ(f.forwarded(), 1u);
+    EXPECT_EQ(f.filtered(), 0u);
+}
+
+TEST(SnoopFilter, EraseTracksEvictions)
+{
+    SnoopFilter f;
+    f.insert(1);
+    f.insert(2);
+    f.erase(1);
+    EXPECT_FALSE(f.check(1));
+    EXPECT_TRUE(f.check(2));
+    EXPECT_EQ(f.size(), 1u);
+}
+
+TEST(BiasFilter, RepeatedInvalidationAbsorbed)
+{
+    BiasFilter f(8);
+    // First invalidation cycles the directory, second is absorbed.
+    EXPECT_FALSE(f.onInvalidate(42));
+    EXPECT_TRUE(f.onInvalidate(42));
+    EXPECT_TRUE(f.onInvalidate(42));
+    EXPECT_EQ(f.absorbed(), 2u);
+    EXPECT_EQ(f.passed(), 1u);
+}
+
+TEST(BiasFilter, LocalReferenceClearsEntry)
+{
+    BiasFilter f(8);
+    EXPECT_FALSE(f.onInvalidate(42));
+    f.onLocalReference(42); // block may be re-cached now
+    EXPECT_FALSE(f.onInvalidate(42));
+    EXPECT_EQ(f.passed(), 2u);
+}
+
+TEST(BiasFilter, CapacityEvictsLru)
+{
+    BiasFilter f(2);
+    EXPECT_FALSE(f.onInvalidate(1));
+    EXPECT_FALSE(f.onInvalidate(2));
+    EXPECT_FALSE(f.onInvalidate(3)); // evicts 1
+    EXPECT_FALSE(f.onInvalidate(1)); // 1 was forgotten
+    EXPECT_EQ(f.size(), 2u);
+}
+
+TEST(BiasFilter, ZeroCapacityDisables)
+{
+    BiasFilter f(0);
+    EXPECT_FALSE(f.onInvalidate(7));
+    EXPECT_FALSE(f.onInvalidate(7));
+    EXPECT_EQ(f.absorbed(), 0u);
+}
+
+TEST(BiasFilter, TouchKeepsHotEntriesResident)
+{
+    BiasFilter f(2);
+    EXPECT_FALSE(f.onInvalidate(1));
+    EXPECT_FALSE(f.onInvalidate(2));
+    EXPECT_TRUE(f.onInvalidate(1));  // touch 1: now 2 is LRU
+    EXPECT_FALSE(f.onInvalidate(3)); // evicts 2
+    EXPECT_TRUE(f.onInvalidate(1));  // 1 still remembered
+}
+
+} // namespace
+} // namespace dir2b

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Directed tests of the full-map baseline (Censier-Feautrier) and the
+ * Yen-Fu local-state extension: exact presence-vector maintenance and
+ * the defining property that no command is ever useless.
+ */
+
+#include <gtest/gtest.h>
+
+#include "proto/full_map.hh"
+#include "proto/full_map_local.hh"
+
+namespace dir2b
+{
+namespace
+{
+
+ProtoConfig
+config(ProcId n = 4, std::size_t sets = 64, std::size_t ways = 4)
+{
+    ProtoConfig cfg;
+    cfg.numProcs = n;
+    cfg.cacheGeom.sets = sets;
+    cfg.cacheGeom.ways = ways;
+    cfg.numModules = 2;
+    return cfg;
+}
+
+TEST(FullMap, PresenceBitsTrackReaders)
+{
+    FullMapProtocol p(config());
+    const Addr a = 100;
+    p.access(0, a, false);
+    p.access(2, a, false);
+    const FullMapEntry *e = p.entry(a);
+    ASSERT_NE(e, nullptr);
+    EXPECT_TRUE(e->present.test(0));
+    EXPECT_FALSE(e->present.test(1));
+    EXPECT_TRUE(e->present.test(2));
+    EXPECT_FALSE(e->modified);
+}
+
+TEST(FullMap, WriteMissSendsExactlyHolderCountInvalidations)
+{
+    FullMapProtocol p(config(8));
+    const Addr a = 5;
+    p.access(0, a, false);
+    p.access(1, a, false);
+    p.access(2, a, false);
+    p.access(7, a, true, 1);
+
+    const AccessCounts &d = p.lastDelta();
+    EXPECT_EQ(d.directedCmds, 3u);
+    EXPECT_EQ(d.invalidations, 3u);
+    EXPECT_EQ(d.broadcasts, 0u);
+    EXPECT_EQ(d.uselessCmds, 0u);
+    const FullMapEntry *e = p.entry(a);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->present.count(), 1u);
+    EXPECT_TRUE(e->present.test(7));
+    EXPECT_TRUE(e->modified);
+}
+
+TEST(FullMap, ReadMissOnModifiedPurgesExactlyOwner)
+{
+    FullMapProtocol p(config(8));
+    const Addr a = 6;
+    p.access(3, a, true, 42);
+    p.access(5, a, false);
+
+    const AccessCounts &d = p.lastDelta();
+    EXPECT_EQ(d.directedCmds, 1u);
+    EXPECT_EQ(d.purges, 1u);
+    EXPECT_EQ(d.writebacks, 1u);
+    EXPECT_EQ(d.uselessCmds, 0u);
+    EXPECT_EQ(p.access(5, a, false), 42u);
+    const FullMapEntry *e = p.entry(a);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->present.count(), 2u);
+    EXPECT_FALSE(e->modified);
+}
+
+TEST(FullMap, WriteHitWithSoleCopyNeedsNoInvalidation)
+{
+    FullMapProtocol p(config());
+    const Addr a = 7;
+    p.access(0, a, false);
+    p.access(0, a, true, 9);
+    EXPECT_EQ(p.lastDelta().directedCmds, 0u);
+    EXPECT_EQ(p.lastDelta().invalidations, 0u);
+    EXPECT_TRUE(p.entry(a)->modified);
+}
+
+TEST(FullMap, CleanEjectClearsPresenceBitExactly)
+{
+    FullMapProtocol p(config(4, 1, 1));
+    const Addr a = 20;
+    const Addr b = 21;
+    p.access(0, a, false);
+    p.access(1, a, false);
+    p.access(0, b, false); // cache 0 ejects a
+    const FullMapEntry *e = p.entry(a);
+    ASSERT_NE(e, nullptr);
+    EXPECT_FALSE(e->present.test(0));
+    EXPECT_TRUE(e->present.test(1));
+    // Unlike the two-bit map, a later write sends exactly one command.
+    p.access(2, a, true, 1);
+    EXPECT_EQ(p.lastDelta().directedCmds, 1u);
+    EXPECT_EQ(p.lastDelta().uselessCmds, 0u);
+}
+
+TEST(FullMap, NeverAnyUselessCommand)
+{
+    FullMapProtocol p(config(4, 2, 2));
+    // A busy mixed sequence with evictions and ownership migration.
+    for (int i = 0; i < 500; ++i) {
+        const auto proc = static_cast<ProcId>(i % 4);
+        const Addr a = static_cast<Addr>(i % 12);
+        p.access(proc, a, i % 3 == 0, 10000u + i);
+        p.checkInvariants();
+    }
+    EXPECT_EQ(p.counts().uselessCmds, 0u);
+    EXPECT_EQ(p.counts().broadcasts, 0u);
+}
+
+TEST(FullMap, DirectoryCostGrowsWithN)
+{
+    EXPECT_EQ(FullMapProtocol(config(4)).directoryBitsPerBlock(), 5u);
+    EXPECT_EQ(FullMapProtocol(config(16)).directoryBitsPerBlock(), 17u);
+    EXPECT_EQ(FullMapProtocol(config(64)).directoryBitsPerBlock(), 65u);
+}
+
+TEST(FullMapLocal, FirstReaderGetsExclusiveCleanCopy)
+{
+    FullMapLocalProtocol p(config());
+    const Addr a = 30;
+    p.access(0, a, false);
+    EXPECT_EQ(p.cache(0).peek(a)->state, LineState::Exclusive);
+}
+
+TEST(FullMapLocal, SilentUpgradeCostsNoMessages)
+{
+    FullMapLocalProtocol p(config());
+    const Addr a = 31;
+    p.access(0, a, false); // Exclusive
+    const AccessCounts before = p.counts();
+    p.access(0, a, true, 5);
+    const AccessCounts d = p.counts() - before;
+    EXPECT_EQ(d.netMessages, 0u);
+    EXPECT_EQ(d.mrequests, 0u);
+    EXPECT_EQ(p.silentUpgrades(), 1u);
+}
+
+TEST(FullMapLocal, RemoteReadAfterSilentUpgradeRecoversData)
+{
+    FullMapLocalProtocol p(config());
+    const Addr a = 32;
+    p.access(0, a, false);
+    p.access(0, a, true, 77); // silent upgrade: directory thinks clean
+    p.access(1, a, false);    // must still see 77
+    EXPECT_EQ(p.access(1, a, false), 77u);
+    EXPECT_EQ(p.memValue(a), 77u); // write-back happened on the query
+}
+
+TEST(FullMapLocal, SecondReaderDowngradesExclusive)
+{
+    FullMapLocalProtocol p(config());
+    const Addr a = 33;
+    p.access(0, a, false);
+    p.access(1, a, false);
+    EXPECT_EQ(p.cache(0).peek(a)->state, LineState::Shared);
+    EXPECT_EQ(p.cache(1).peek(a)->state, LineState::Shared);
+}
+
+TEST(FullMapLocal, SharedWriteHitStillNeedsInvalidations)
+{
+    FullMapLocalProtocol p(config());
+    const Addr a = 34;
+    p.access(0, a, false);
+    p.access(1, a, false); // both Shared
+    p.access(0, a, true, 5);
+    EXPECT_EQ(p.lastDelta().mrequests, 1u);
+    EXPECT_EQ(p.lastDelta().invalidations, 1u);
+    EXPECT_EQ(p.holders(a), std::vector<ProcId>{0});
+}
+
+TEST(FullMapLocal, InvariantsUnderMigration)
+{
+    FullMapLocalProtocol p(config(4, 2, 2));
+    for (int i = 0; i < 500; ++i) {
+        const auto proc = static_cast<ProcId>((i * 7) % 4);
+        const Addr a = static_cast<Addr>(i % 10);
+        p.access(proc, a, i % 4 == 0, 20000u + i);
+        p.checkInvariants();
+    }
+    EXPECT_EQ(p.counts().uselessCmds, 0u);
+}
+
+} // namespace
+} // namespace dir2b

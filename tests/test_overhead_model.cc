@@ -1,0 +1,200 @@
+/**
+ * @file
+ * The §4.2 closed form checked cell-by-cell against the paper's
+ * printed Table 4-1 (all three sharing cases, w in {.1,.2,.3,.4},
+ * n in {4,8,16,32,64}).
+ *
+ * Two cells get special treatment:
+ *  - case 1, w=0.3, n=16 is printed as 0.970 in the paper but the
+ *    formula gives 0.070; the column is otherwise monotone between
+ *    0.047 and 0.092, so 0.970 is a typesetting error (dropped leading
+ *    zero digit position).
+ *  - case 1, w=0.1, n=4 is printed 0.000; the formula gives 0.00097,
+ *    which rounds to 0.001 — the paper evidently truncated.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/overhead_model.hh"
+
+namespace dir2b
+{
+namespace
+{
+
+struct Cell
+{
+    SharingLevel level;
+    double w;
+    unsigned n;
+    double paper;
+};
+
+// Every printed cell of Table 4-1 (with the two flagged cells noted).
+const Cell table41[] = {
+    // Case 1: low sharing.
+    {SharingLevel::Low, 0.1, 4, 0.000},  // paper truncates 0.00097
+    {SharingLevel::Low, 0.1, 8, 0.005},
+    {SharingLevel::Low, 0.1, 16, 0.025},
+    {SharingLevel::Low, 0.1, 32, 0.109},
+    {SharingLevel::Low, 0.1, 64, 0.449},
+    {SharingLevel::Low, 0.2, 4, 0.002},
+    {SharingLevel::Low, 0.2, 8, 0.010},
+    {SharingLevel::Low, 0.2, 16, 0.047},
+    {SharingLevel::Low, 0.2, 32, 0.203},
+    {SharingLevel::Low, 0.2, 64, 0.840},
+    {SharingLevel::Low, 0.3, 4, 0.003},
+    {SharingLevel::Low, 0.3, 8, 0.015},
+    {SharingLevel::Low, 0.3, 16, 0.070}, // paper prints 0.970 (typo)
+    {SharingLevel::Low, 0.3, 32, 0.298},
+    {SharingLevel::Low, 0.3, 64, 1.231},
+    {SharingLevel::Low, 0.4, 4, 0.004},
+    {SharingLevel::Low, 0.4, 8, 0.020},
+    {SharingLevel::Low, 0.4, 16, 0.092},
+    {SharingLevel::Low, 0.4, 32, 0.392},
+    {SharingLevel::Low, 0.4, 64, 1.622},
+    // Case 2: moderate sharing.
+    {SharingLevel::Moderate, 0.1, 4, 0.009},
+    {SharingLevel::Moderate, 0.1, 8, 0.055},
+    {SharingLevel::Moderate, 0.1, 16, 0.263},
+    {SharingLevel::Moderate, 0.1, 32, 1.146},
+    {SharingLevel::Moderate, 0.1, 64, 4.773},
+    {SharingLevel::Moderate, 0.2, 4, 0.015},
+    {SharingLevel::Moderate, 0.2, 8, 0.089},
+    {SharingLevel::Moderate, 0.2, 16, 0.422},
+    {SharingLevel::Moderate, 0.2, 32, 1.827},
+    {SharingLevel::Moderate, 0.2, 64, 7.593},
+    {SharingLevel::Moderate, 0.3, 4, 0.021},
+    {SharingLevel::Moderate, 0.3, 8, 0.123},
+    {SharingLevel::Moderate, 0.3, 16, 0.580},
+    {SharingLevel::Moderate, 0.3, 32, 2.508},
+    {SharingLevel::Moderate, 0.3, 64, 10.413},
+    {SharingLevel::Moderate, 0.4, 4, 0.027},
+    {SharingLevel::Moderate, 0.4, 8, 0.157},
+    {SharingLevel::Moderate, 0.4, 16, 0.739},
+    {SharingLevel::Moderate, 0.4, 32, 3.188},
+    {SharingLevel::Moderate, 0.4, 64, 13.233},
+    // Case 3: high sharing.
+    {SharingLevel::High, 0.1, 4, 0.057},
+    {SharingLevel::High, 0.1, 8, 0.382},
+    {SharingLevel::High, 0.1, 16, 1.887},
+    {SharingLevel::High, 0.1, 32, 8.314},
+    {SharingLevel::High, 0.1, 64, 34.839},
+    {SharingLevel::High, 0.2, 4, 0.072},
+    {SharingLevel::High, 0.2, 8, 0.470},
+    {SharingLevel::High, 0.2, 16, 2.304},
+    {SharingLevel::High, 0.2, 32, 10.118},
+    {SharingLevel::High, 0.2, 64, 42.336},
+    {SharingLevel::High, 0.3, 4, 0.087},
+    {SharingLevel::High, 0.3, 8, 0.559},
+    {SharingLevel::High, 0.3, 16, 2.721},
+    {SharingLevel::High, 0.3, 32, 11.923},
+    {SharingLevel::High, 0.3, 64, 49.833},
+    {SharingLevel::High, 0.4, 4, 0.102},
+    {SharingLevel::High, 0.4, 8, 0.647},
+    {SharingLevel::High, 0.4, 16, 3.138},
+    {SharingLevel::High, 0.4, 32, 13.727},
+    {SharingLevel::High, 0.4, 64, 57.330},
+};
+
+TEST(OverheadModel, ReproducesEveryCellOfTable41)
+{
+    for (const Cell &cell : table41) {
+        const auto b = overhead(sharingCase(cell.level, cell.n, cell.w));
+        EXPECT_NEAR(b.perCache, cell.paper, 0.0015)
+            << toString(cell.level) << " w=" << cell.w
+            << " n=" << cell.n;
+    }
+}
+
+TEST(OverheadModel, ComponentsSumToTotal)
+{
+    const auto b = overhead(sharingCase(SharingLevel::Moderate, 16, 0.2));
+    EXPECT_NEAR(b.tSUM, b.tRM + b.tWM + b.tWH, 1e-12);
+    EXPECT_NEAR(b.perCache, 15.0 * b.tSUM, 1e-12);
+}
+
+TEST(OverheadModel, HandComputedModerateCell)
+{
+    // Worked by hand in EXPERIMENTS.md: case 2, w=0.2, n=16.
+    const auto b = overhead(sharingCase(SharingLevel::Moderate, 16, 0.2));
+    EXPECT_NEAR(b.tRM, 0.0056, 1e-9);
+    EXPECT_NEAR(b.tWM, 0.00565, 1e-9);
+    EXPECT_NEAR(b.tWH, 0.016875, 1e-9);
+    EXPECT_NEAR(b.perCache, 0.4219, 0.0005);
+}
+
+TEST(OverheadModel, MonotoneInNandW)
+{
+    // Overhead grows with processor count and write fraction in every
+    // sharing case.
+    for (auto level : {SharingLevel::Low, SharingLevel::Moderate,
+                       SharingLevel::High}) {
+        for (double w : table41WriteProbs()) {
+            double prev = -1.0;
+            for (unsigned n : table41ProcessorCounts()) {
+                const double v = overhead(sharingCase(level, n, w))
+                                     .perCache;
+                EXPECT_GT(v, prev);
+                prev = v;
+            }
+        }
+        for (unsigned n : table41ProcessorCounts()) {
+            double prev = -1.0;
+            for (double w : table41WriteProbs()) {
+                const double v = overhead(sharingCase(level, n, w))
+                                     .perCache;
+                EXPECT_GT(v, prev);
+                prev = v;
+            }
+        }
+    }
+}
+
+TEST(OverheadModel, PaperTypoCellIsInconsistentWithMonotonicity)
+{
+    // The printed 0.970 at (case 1, w=0.3, n=16) would break the
+    // monotone trend its own column and row obey; the formula value
+    // restores it.
+    const double n8 = overhead(sharingCase(SharingLevel::Low, 8, 0.3))
+                          .perCache;
+    const double n16 = overhead(sharingCase(SharingLevel::Low, 16, 0.3))
+                           .perCache;
+    const double n32 = overhead(sharingCase(SharingLevel::Low, 32, 0.3))
+                           .perCache;
+    EXPECT_LT(n8, n16);
+    EXPECT_LT(n16, n32);
+    EXPECT_NEAR(n16, 0.070, 0.001);
+    EXPECT_GT(std::abs(0.970 - n16), 0.5); // the printed cell is off
+}
+
+TEST(OverheadModel, AcceptabilityThresholds)
+{
+    // §4.3's conclusions, restated as threshold checks at w=0.2:
+    // low sharing acceptable ((n-1)T_SUM < 1) through 64 processors,
+    // moderate through 16, high only through 8.
+    EXPECT_LT(overhead(sharingCase(SharingLevel::Low, 64, 0.2)).perCache,
+              1.0);
+    EXPECT_LT(
+        overhead(sharingCase(SharingLevel::Moderate, 16, 0.2)).perCache,
+        1.0);
+    EXPECT_GT(
+        overhead(sharingCase(SharingLevel::Moderate, 32, 0.2)).perCache,
+        1.0);
+    EXPECT_LT(overhead(sharingCase(SharingLevel::High, 8, 0.2)).perCache,
+              1.0);
+    EXPECT_GT(overhead(sharingCase(SharingLevel::High, 16, 0.2)).perCache,
+              1.0);
+}
+
+TEST(OverheadModel, Table41RowHelperMatchesDirectEvaluation)
+{
+    const auto row = table41Row(SharingLevel::High, 0.4);
+    ASSERT_EQ(row.size(), 5u);
+    EXPECT_NEAR(row.back(), 57.330, 0.0015);
+}
+
+} // namespace
+} // namespace dir2b

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the linear solver and the single-block Markov chains
+ * behind Table 4-2 and the sharing-state probabilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/linear.hh"
+#include "model/sharing_chain.hh"
+
+namespace dir2b
+{
+namespace
+{
+
+TEST(Linear, SolvesSmallSystem)
+{
+    // 2x + y = 5; x - y = 1  ->  x = 2, y = 1.
+    Matrix a(2, 2);
+    a.at(0, 0) = 2;
+    a.at(0, 1) = 1;
+    a.at(1, 0) = 1;
+    a.at(1, 1) = -1;
+    const auto x = solveLinear(a, {5, 1});
+    EXPECT_NEAR(x[0], 2.0, 1e-12);
+    EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(Linear, PivotingHandlesZeroDiagonal)
+{
+    // 0*x + y = 3; x + 0*y = 4.
+    Matrix a(2, 2);
+    a.at(0, 1) = 1;
+    a.at(1, 0) = 1;
+    const auto x = solveLinear(a, {3, 4});
+    EXPECT_NEAR(x[0], 4.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Linear, StationaryOfTwoStateChain)
+{
+    // Rates: 0 -> 1 at 2.0, 1 -> 0 at 1.0: pi = (1/3, 2/3).
+    Matrix q(2, 2);
+    q.at(0, 1) = 2.0;
+    q.at(1, 0) = 1.0;
+    const auto pi = stationaryDistribution(q);
+    EXPECT_NEAR(pi[0], 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(pi[1], 2.0 / 3.0, 1e-12);
+}
+
+TEST(Linear, StationaryOfCycle)
+{
+    // Symmetric 3-cycle: uniform stationary distribution.
+    Matrix q(3, 3);
+    q.at(0, 1) = 1.0;
+    q.at(1, 2) = 1.0;
+    q.at(2, 0) = 1.0;
+    const auto pi = stationaryDistribution(q);
+    for (const double p : pi)
+        EXPECT_NEAR(p, 1.0 / 3.0, 1e-12);
+}
+
+ChainParams
+params(unsigned n, double q, double w)
+{
+    ChainParams p;
+    p.n = n;
+    p.q = q;
+    p.w = w;
+    p.sharedBlocks = 16;
+    p.evictRate = evictRateFromGeometry(n, 128);
+    return p;
+}
+
+TEST(FullMapChain, ProbabilitiesAreWellFormed)
+{
+    const auto r = solveFullMapChain(params(8, 0.05, 0.2));
+    EXPECT_GE(r.tR, 0.0);
+    EXPECT_GE(r.meanCopies, 0.0);
+    EXPECT_LE(r.meanCopies, 8.0);
+    EXPECT_GE(r.pDirty, 0.0);
+    EXPECT_LE(r.pDirty, 1.0);
+    EXPECT_NEAR(r.perCache, 7.0 * r.tR, 1e-12);
+}
+
+TEST(FullMapChain, MoreWritesMeansMoreDirtyTime)
+{
+    const auto low = solveFullMapChain(params(8, 0.05, 0.1));
+    const auto high = solveFullMapChain(params(8, 0.05, 0.4));
+    EXPECT_GT(high.pDirty, low.pDirty);
+    EXPECT_LT(high.meanCopies, low.meanCopies);
+}
+
+TEST(FullMapChain, OverheadGrowsWithSharingAndN)
+{
+    // The qualitative agreement the paper relies on: growth in q and n.
+    EXPECT_GT(solveFullMapChain(params(8, 0.10, 0.2)).perCache,
+              solveFullMapChain(params(8, 0.01, 0.2)).perCache);
+    EXPECT_GT(solveFullMapChain(params(64, 0.05, 0.2)).perCache,
+              solveFullMapChain(params(8, 0.05, 0.2)).perCache);
+}
+
+TEST(FullMapChain, MatchesPaperCornerMagnitudes)
+{
+    // Table 4-2 reference points (reconstruction; same order of
+    // magnitude is the success criterion, see DESIGN.md §5):
+    //   q=.01 w=.1 n=64 -> 0.599;  q=.10 w=.4 n=4 -> 0.228.
+    const auto big = solveFullMapChain(params(64, 0.01, 0.1));
+    EXPECT_GT(big.perCache, 0.15);
+    EXPECT_LT(big.perCache, 2.4);
+    const auto small = solveFullMapChain(params(4, 0.10, 0.4));
+    EXPECT_GT(small.perCache, 0.05);
+    EXPECT_LT(small.perCache, 0.9);
+}
+
+TEST(TwoBitChain, OccupanciesFormDistribution)
+{
+    const auto r = solveTwoBitChain(params(8, 0.05, 0.2));
+    EXPECT_NEAR(r.pAbsent + r.pP1 + r.pPStar + r.pPM, 1.0, 1e-9);
+    EXPECT_GE(r.pStarEmpty, 0.0);
+    EXPECT_LE(r.pStarEmpty, r.pPStar);
+}
+
+TEST(TwoBitChain, HighWriteFractionRaisesPresentM)
+{
+    const auto low = solveTwoBitChain(params(8, 0.05, 0.05));
+    const auto high = solveTwoBitChain(params(8, 0.05, 0.5));
+    EXPECT_GT(high.pPM, low.pPM);
+    EXPECT_LT(high.pPStar, low.pPStar);
+}
+
+TEST(TwoBitChain, PredictedTSumGrowsLikeTable41)
+{
+    // The first-principles T_SUM should reproduce the table's growth
+    // pattern in n and w.
+    double prev = -1.0;
+    for (unsigned n : {4u, 8u, 16u, 32u, 64u}) {
+        const auto r = solveTwoBitChain(params(n, 0.05, 0.2));
+        EXPECT_GT(r.perCache, prev);
+        prev = r.perCache;
+    }
+    EXPECT_GT(solveTwoBitChain(params(16, 0.05, 0.4)).perCache,
+              solveTwoBitChain(params(16, 0.05, 0.1)).perCache);
+}
+
+TEST(TwoBitChain, ZeroWritesMeansZeroOverhead)
+{
+    // With no writes there are no BROADINVs and the block can never be
+    // PresentM, so no BROADQUERYs either.
+    const auto r = solveTwoBitChain(params(8, 0.05, 0.0));
+    EXPECT_NEAR(r.tSum, 0.0, 1e-12);
+    EXPECT_NEAR(r.pPM, 0.0, 1e-12);
+}
+
+TEST(EvictRate, GeometryScaling)
+{
+    // Twice the cache halves the rate; twice the processors halves the
+    // per-reference chance the holder's processor issues.
+    EXPECT_NEAR(evictRateFromGeometry(4, 128),
+                2.0 * evictRateFromGeometry(8, 128), 1e-15);
+    EXPECT_NEAR(evictRateFromGeometry(4, 128),
+                2.0 * evictRateFromGeometry(4, 256), 1e-15);
+}
+
+} // namespace
+} // namespace dir2b

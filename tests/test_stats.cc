@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for the statistics framework.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace dir2b
+{
+namespace
+{
+
+TEST(Counter, StartsAtZeroAndAccumulates)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    ++c;
+    EXPECT_EQ(c.value(), 43u);
+    c += 7;
+    EXPECT_EQ(c.value(), 50u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Mean, ComputesRunningAverage)
+{
+    Mean m;
+    EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+    m.sample(1.0);
+    m.sample(2.0);
+    m.sample(3.0);
+    EXPECT_DOUBLE_EQ(m.mean(), 2.0);
+    EXPECT_EQ(m.samples(), 3u);
+    EXPECT_DOUBLE_EQ(m.sum(), 6.0);
+}
+
+TEST(Histogram, BucketsAndMoments)
+{
+    Histogram h(10, 4); // buckets [0,10), [10,20), [20,30), [30,40), of
+    h.sample(0);
+    h.sample(9);
+    h.sample(10);
+    h.sample(35);
+    h.sample(1000); // overflow
+    EXPECT_EQ(h.samples(), 5u);
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(2), 0u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.bucket(4), 1u); // overflow bucket
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 1000u);
+    EXPECT_NEAR(h.mean(), (0 + 9 + 10 + 35 + 1000) / 5.0, 1e-9);
+}
+
+TEST(Histogram, Percentile)
+{
+    Histogram h(1, 100);
+    for (std::uint64_t v = 0; v < 100; ++v)
+        h.sample(v);
+    EXPECT_LE(h.percentile(0.5), 51u);
+    EXPECT_GE(h.percentile(0.5), 49u);
+    EXPECT_EQ(h.percentile(1.0), 99u);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h(1, 8);
+    h.sample(3);
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.bucket(3), 0u);
+}
+
+TEST(StatGroup, DumpsAllKinds)
+{
+    Counter c;
+    c.inc(5);
+    Mean m;
+    m.sample(2.5);
+    Histogram h(1, 4);
+    h.sample(2);
+
+    StatGroup g("cache0");
+    g.addCounter("hits", &c, "demand hits");
+    g.addMean("latency", &m);
+    g.addHistogram("burst", &h);
+
+    std::ostringstream os;
+    g.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("cache0.hits"), std::string::npos);
+    EXPECT_NE(out.find("5"), std::string::npos);
+    EXPECT_NE(out.find("demand hits"), std::string::npos);
+    EXPECT_NE(out.find("cache0.latency"), std::string::npos);
+    EXPECT_NE(out.find("2.5"), std::string::npos);
+    EXPECT_NE(out.find("cache0.burst"), std::string::npos);
+}
+
+} // namespace
+} // namespace dir2b

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the trace analyser: realised q/w, sharing classification,
+ * per-processor balance and block popularity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/synthetic.hh"
+#include "trace/trace_io.hh"
+#include "trace/trace_stats.hh"
+
+namespace dir2b
+{
+namespace
+{
+
+TEST(TraceStats, EmptyTrace)
+{
+    const TraceStats s = analyzeTrace({});
+    EXPECT_EQ(s.refs, 0u);
+    EXPECT_DOUBLE_EQ(s.q(), 0.0);
+    EXPECT_DOUBLE_EQ(s.w(), 0.0);
+}
+
+TEST(TraceStats, CountsBasics)
+{
+    const std::vector<MemRef> t = {
+        {0, 1, false},
+        {0, 1, true},
+        {1, 2, false},
+        {1, sharedRegionBase, true},
+        {2, sharedRegionBase, false},
+    };
+    const TraceStats s = analyzeTrace(t);
+    EXPECT_EQ(s.refs, 5u);
+    EXPECT_EQ(s.writes, 2u);
+    EXPECT_EQ(s.sharedRefs, 2u);
+    EXPECT_EQ(s.sharedWrites, 1u);
+    EXPECT_EQ(s.distinctBlocks, 3u);
+    EXPECT_NEAR(s.q(), 0.4, 1e-12);
+    EXPECT_NEAR(s.w(), 0.5, 1e-12);
+    ASSERT_EQ(s.perProc.size(), 3u);
+    EXPECT_EQ(s.perProc[0], 2u);
+}
+
+TEST(TraceStats, SharingClassification)
+{
+    const std::vector<MemRef> t = {
+        {0, 10, false}, {1, 10, false}, // read-shared only
+        {0, 20, true},  {1, 20, false}, // write-shared (write + remote)
+        {0, 30, true},  {0, 30, false}, // private (one proc)
+        {2, 40, false},                 // private read
+    };
+    const TraceStats s = analyzeTrace(t);
+    EXPECT_EQ(s.readSharedBlocks, 2u); // blocks 10 and 20
+    EXPECT_EQ(s.writeSharedBlocks, 1u); // only block 20
+}
+
+TEST(TraceStats, HottestBlockFraction)
+{
+    std::vector<MemRef> t;
+    for (int i = 0; i < 9; ++i)
+        t.push_back({0, 7, false});
+    t.push_back({0, 8, false});
+    const TraceStats s = analyzeTrace(t);
+    EXPECT_NEAR(s.hottestBlockFrac, 0.9, 1e-12);
+}
+
+TEST(TraceStats, RealisedParametersMatchGenerator)
+{
+    SyntheticConfig cfg;
+    cfg.numProcs = 4;
+    cfg.q = 0.15;
+    cfg.w = 0.3;
+    cfg.seed = 8;
+    SyntheticStream stream(cfg);
+    const auto refs = recordStream(stream, 40000);
+    const TraceStats s = analyzeTrace(refs);
+    EXPECT_NEAR(s.q(), 0.15, 0.01);
+    EXPECT_NEAR(s.w(), 0.3, 0.03);
+    // Round-robin issue: perfectly balanced processors.
+    for (auto c : s.perProc)
+        EXPECT_EQ(c, 10000u);
+}
+
+TEST(TraceStats, PrintedReportContainsKeyLines)
+{
+    const std::vector<MemRef> t = {{0, 1, true},
+                                   {1, sharedRegionBase, false}};
+    std::ostringstream os;
+    printTraceStats(os, analyzeTrace(t));
+    const std::string out = os.str();
+    EXPECT_NE(out.find("references"), std::string::npos);
+    EXPECT_NE(out.find("shared refs (q)"), std::string::npos);
+    EXPECT_NE(out.find("P0=1"), std::string::npos);
+    EXPECT_NE(out.find("P1=1"), std::string::npos);
+}
+
+} // namespace
+} // namespace dir2b

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Directed tests for the write-through two-bit variant: the directory
+ * as an invalidation *filter* over the classical broadcast scheme
+ * (§2.4's framing), with no PresentM state and no write-backs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/two_bit_wt_protocol.hh"
+#include "proto/classical.hh"
+#include "util/random.hh"
+
+namespace dir2b
+{
+namespace
+{
+
+ProtoConfig
+config(ProcId n = 4, std::size_t sets = 16, std::size_t ways = 2)
+{
+    ProtoConfig cfg;
+    cfg.numProcs = n;
+    cfg.cacheGeom.sets = sets;
+    cfg.cacheGeom.ways = ways;
+    cfg.numModules = 2;
+    return cfg;
+}
+
+TEST(TwoBitWt, WriteHitOnSoleCopyNeedsNoBroadcast)
+{
+    TwoBitWtProtocol p(config());
+    p.access(0, 5, false); // Present1
+    p.access(0, 5, true, 9);
+    EXPECT_EQ(p.lastDelta().broadcasts, 0u);
+    EXPECT_EQ(p.memValue(5), 9u); // written through
+    EXPECT_EQ(p.globalState(5), GlobalState::Present1);
+}
+
+TEST(TwoBitWt, WriteHitOnSharedBlockFiltersBackToPresent1)
+{
+    const ProcId n = 4;
+    TwoBitWtProtocol p(config(n));
+    p.access(0, 5, false);
+    p.access(1, 5, false); // Present*
+    p.access(0, 5, true, 9);
+    EXPECT_EQ(p.lastDelta().broadcasts, 1u);
+    EXPECT_EQ(p.lastDelta().broadcastCmds, n - 1u);
+    EXPECT_EQ(p.lastDelta().invalidations, 1u);
+    // The invalidation restored exact knowledge.
+    EXPECT_EQ(p.globalState(5), GlobalState::Present1);
+    // So the next write is broadcast-free again.
+    p.access(0, 5, true, 10);
+    EXPECT_EQ(p.lastDelta().broadcasts, 0u);
+}
+
+TEST(TwoBitWt, WriteMissOnAbsentIsSilent)
+{
+    TwoBitWtProtocol p(config());
+    p.access(0, 7, true, 1);
+    EXPECT_EQ(p.lastDelta().broadcasts, 0u);
+    EXPECT_EQ(p.lastDelta().memWrites, 1u);
+    // No allocate: no copy anywhere.
+    EXPECT_EQ(p.holders(7).size(), 0u);
+    EXPECT_EQ(p.globalState(7), GlobalState::Absent);
+}
+
+TEST(TwoBitWt, WriteMissOnSharedReclaimsAbsent)
+{
+    TwoBitWtProtocol p(config());
+    p.access(0, 7, false);
+    p.access(1, 7, false);
+    p.access(2, 7, true, 3);
+    EXPECT_EQ(p.lastDelta().invalidations, 2u);
+    EXPECT_EQ(p.globalState(7), GlobalState::Absent);
+    EXPECT_EQ(p.access(0, 7, false), 3u);
+}
+
+TEST(TwoBitWt, NeverWritesBackAndNeverPresentM)
+{
+    TwoBitWtProtocol p(config(4, 2, 1)); // tiny: heavy eviction
+    Rng rng(5);
+    for (int i = 0; i < 4000; ++i) {
+        p.access(static_cast<ProcId>(rng.range(4)), rng.range(12),
+                 rng.chance(0.4), 100u + i);
+        if (i % 64 == 0)
+            p.checkInvariants();
+    }
+    EXPECT_EQ(p.counts().writebacks, 0u);
+    EXPECT_EQ(p.counts().purges, 0u);
+    EXPECT_EQ(p.counts().wordWrites, p.counts().writes);
+}
+
+TEST(TwoBitWt, FiltersClassicalBroadcastStorm)
+{
+    // The §2.4 claim made concrete: identical write-through policy,
+    // but the 2-bit map suppresses broadcasts for unshared blocks.
+    auto drive = [](Protocol &p) {
+        Rng rng(6);
+        for (int i = 0; i < 6000; ++i) {
+            const auto proc = static_cast<ProcId>(rng.range(4));
+            // Mostly private blocks, occasionally a shared one.
+            const Addr a = rng.chance(0.1)
+                               ? rng.range(4)
+                               : 1000 + proc * 100 + rng.range(8);
+            p.access(proc, a, rng.chance(0.4), 10u + i);
+        }
+    };
+    TwoBitWtProtocol filtered(config());
+    ClassicalProtocol classical(config());
+    drive(filtered);
+    drive(classical);
+    // The classical scheme broadcasts every store; the map filters the
+    // private-store majority out.
+    EXPECT_LT(filtered.counts().broadcasts,
+              classical.counts().broadcasts / 3);
+    // Both deliver identical invalidation *effects* (same workload).
+    EXPECT_EQ(filtered.counts().wordWrites,
+              classical.counts().wordWrites);
+}
+
+TEST(TwoBitWt, FlushReclaimsPresent1)
+{
+    TwoBitWtProtocol p(config());
+    p.access(0, 5, false);
+    p.flushCache(0);
+    EXPECT_EQ(p.globalState(5), GlobalState::Absent);
+    EXPECT_EQ(p.cache(0).validCount(), 0u);
+}
+
+} // namespace
+} // namespace dir2b

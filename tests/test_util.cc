@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Unit tests for util: PRNG, bit operations, dynamic bitset, tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/bitops.hh"
+#include "util/bitset.hh"
+#include "util/random.hh"
+#include "util/table.hh"
+#include "util/types.hh"
+
+namespace dir2b
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DistinctSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, RangeRespectsBound)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.range(13), 13u);
+}
+
+TEST(Rng, RangeCoversAllResidues)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.range(10));
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(5);
+    double sum = 0.0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / trials, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(11);
+    int hits = 0;
+    const int trials = 50000;
+    for (int i = 0; i < trials; ++i) {
+        if (rng.chance(0.3))
+            ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(Rng, GeometricMeanMatches)
+{
+    Rng rng(13);
+    const double p = 0.25;
+    double sum = 0.0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i)
+        sum += static_cast<double>(rng.geometric(p));
+    // Mean failures before success = (1-p)/p = 3.
+    EXPECT_NEAR(sum / trials, 3.0, 0.15);
+}
+
+TEST(Rng, SplitStreamsIndependent)
+{
+    Rng parent(17);
+    Rng a = parent.split();
+    Rng b = parent.split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(BitOps, PowerOf2)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_TRUE(isPowerOf2(1024));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_FALSE(isPowerOf2(1023));
+}
+
+TEST(BitOps, Log2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(DynBitset, SetResetTest)
+{
+    DynBitset bs(100);
+    EXPECT_TRUE(bs.none());
+    bs.set(0);
+    bs.set(63);
+    bs.set(64);
+    bs.set(99);
+    EXPECT_TRUE(bs.test(0));
+    EXPECT_TRUE(bs.test(63));
+    EXPECT_TRUE(bs.test(64));
+    EXPECT_TRUE(bs.test(99));
+    EXPECT_FALSE(bs.test(1));
+    EXPECT_EQ(bs.count(), 4u);
+    bs.reset(63);
+    EXPECT_FALSE(bs.test(63));
+    EXPECT_EQ(bs.count(), 3u);
+}
+
+TEST(DynBitset, FindFirstAndNext)
+{
+    DynBitset bs(130);
+    EXPECT_EQ(bs.findFirst(), 130u);
+    bs.set(5);
+    bs.set(64);
+    bs.set(129);
+    EXPECT_EQ(bs.findFirst(), 5u);
+    EXPECT_EQ(bs.findNext(5), 64u);
+    EXPECT_EQ(bs.findNext(64), 129u);
+    EXPECT_EQ(bs.findNext(129), 130u);
+}
+
+TEST(DynBitset, IterationVisitsExactlySetBits)
+{
+    DynBitset bs(200);
+    std::set<std::size_t> want = {0, 1, 63, 64, 65, 127, 128, 199};
+    for (auto i : want)
+        bs.set(i);
+    std::set<std::size_t> got;
+    for (std::size_t i = bs.findFirst(); i < bs.size();
+         i = bs.findNext(i)) {
+        got.insert(i);
+    }
+    EXPECT_EQ(got, want);
+}
+
+TEST(DynBitset, ClearEmptiesEverything)
+{
+    DynBitset bs(70);
+    bs.set(3);
+    bs.set(69);
+    bs.clear();
+    EXPECT_TRUE(bs.none());
+    EXPECT_EQ(bs.count(), 0u);
+}
+
+TEST(InitialValue, DeterministicAndDistinct)
+{
+    EXPECT_EQ(initialValue(42), initialValue(42));
+    std::set<Value> values;
+    for (Addr a = 0; a < 1000; ++a)
+        values.insert(initialValue(a));
+    EXPECT_EQ(values.size(), 1000u);
+}
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t({"n:", "4", "8"});
+    t.addRow({"w = 0.1", "0.000", "0.005"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("w = 0.1"), std::string::npos);
+    EXPECT_NE(out.find("0.005"), std::string::npos);
+}
+
+TEST(TextTable, NumFormatsThreeDecimals)
+{
+    EXPECT_EQ(TextTable::num(0.9695), "0.970");
+    EXPECT_EQ(TextTable::num(57.3301), "57.330");
+    EXPECT_EQ(TextTable::num(0.0004), "0.000");
+}
+
+} // namespace
+} // namespace dir2b
