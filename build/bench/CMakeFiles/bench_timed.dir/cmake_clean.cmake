@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_timed.dir/bench_timed.cc.o"
+  "CMakeFiles/bench_timed.dir/bench_timed.cc.o.d"
+  "bench_timed"
+  "bench_timed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_timed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

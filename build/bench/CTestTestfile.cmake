@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_table_4_1_smoke "/root/repo/build/bench/bench_table_4_1")
+set_tests_properties(bench_table_4_1_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;22;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_table_4_2_smoke "/root/repo/build/bench/bench_table_4_2")
+set_tests_properties(bench_table_4_2_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;23;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_sim_validation_smoke "/root/repo/build/bench/bench_sim_validation")
+set_tests_properties(bench_sim_validation_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;24;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_enhancements_smoke "/root/repo/build/bench/bench_enhancements")
+set_tests_properties(bench_enhancements_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;25;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_scaling_smoke "/root/repo/build/bench/bench_scaling")
+set_tests_properties(bench_scaling_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;26;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_protocol_comparison_smoke "/root/repo/build/bench/bench_protocol_comparison")
+set_tests_properties(bench_protocol_comparison_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")

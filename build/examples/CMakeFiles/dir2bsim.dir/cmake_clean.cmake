@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dir2bsim.dir/dir2bsim.cpp.o"
+  "CMakeFiles/dir2bsim.dir/dir2bsim.cpp.o.d"
+  "dir2bsim"
+  "dir2bsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dir2bsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dir2bsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_migration.dir/task_migration.cpp.o"
+  "CMakeFiles/task_migration.dir/task_migration.cpp.o.d"
+  "task_migration"
+  "task_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timed_race_demo.dir/timed_race_demo.cpp.o"
+  "CMakeFiles/timed_race_demo.dir/timed_race_demo.cpp.o.d"
+  "timed_race_demo"
+  "timed_race_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timed_race_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

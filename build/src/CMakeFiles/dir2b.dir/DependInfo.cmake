@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache_array.cc" "src/CMakeFiles/dir2b.dir/cache/cache_array.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/cache/cache_array.cc.o.d"
+  "/root/repo/src/cache/cache_types.cc" "src/CMakeFiles/dir2b.dir/cache/cache_types.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/cache/cache_types.cc.o.d"
+  "/root/repo/src/cache/replacement.cc" "src/CMakeFiles/dir2b.dir/cache/replacement.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/cache/replacement.cc.o.d"
+  "/root/repo/src/core/global_state.cc" "src/CMakeFiles/dir2b.dir/core/global_state.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/core/global_state.cc.o.d"
+  "/root/repo/src/core/two_bit_protocol.cc" "src/CMakeFiles/dir2b.dir/core/two_bit_protocol.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/core/two_bit_protocol.cc.o.d"
+  "/root/repo/src/core/two_bit_tb_protocol.cc" "src/CMakeFiles/dir2b.dir/core/two_bit_tb_protocol.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/core/two_bit_tb_protocol.cc.o.d"
+  "/root/repo/src/core/two_bit_wt_protocol.cc" "src/CMakeFiles/dir2b.dir/core/two_bit_wt_protocol.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/core/two_bit_wt_protocol.cc.o.d"
+  "/root/repo/src/model/linear.cc" "src/CMakeFiles/dir2b.dir/model/linear.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/model/linear.cc.o.d"
+  "/root/repo/src/model/overhead_model.cc" "src/CMakeFiles/dir2b.dir/model/overhead_model.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/model/overhead_model.cc.o.d"
+  "/root/repo/src/model/sharing_chain.cc" "src/CMakeFiles/dir2b.dir/model/sharing_chain.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/model/sharing_chain.cc.o.d"
+  "/root/repo/src/model/traffic_model.cc" "src/CMakeFiles/dir2b.dir/model/traffic_model.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/model/traffic_model.cc.o.d"
+  "/root/repo/src/net/message.cc" "src/CMakeFiles/dir2b.dir/net/message.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/net/message.cc.o.d"
+  "/root/repo/src/proto/classical.cc" "src/CMakeFiles/dir2b.dir/proto/classical.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/proto/classical.cc.o.d"
+  "/root/repo/src/proto/counts.cc" "src/CMakeFiles/dir2b.dir/proto/counts.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/proto/counts.cc.o.d"
+  "/root/repo/src/proto/full_map.cc" "src/CMakeFiles/dir2b.dir/proto/full_map.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/proto/full_map.cc.o.d"
+  "/root/repo/src/proto/full_map_local.cc" "src/CMakeFiles/dir2b.dir/proto/full_map_local.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/proto/full_map_local.cc.o.d"
+  "/root/repo/src/proto/illinois.cc" "src/CMakeFiles/dir2b.dir/proto/illinois.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/proto/illinois.cc.o.d"
+  "/root/repo/src/proto/protocol.cc" "src/CMakeFiles/dir2b.dir/proto/protocol.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/proto/protocol.cc.o.d"
+  "/root/repo/src/proto/protocol_factory.cc" "src/CMakeFiles/dir2b.dir/proto/protocol_factory.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/proto/protocol_factory.cc.o.d"
+  "/root/repo/src/proto/software.cc" "src/CMakeFiles/dir2b.dir/proto/software.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/proto/software.cc.o.d"
+  "/root/repo/src/proto/write_once.cc" "src/CMakeFiles/dir2b.dir/proto/write_once.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/proto/write_once.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/dir2b.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/sim/stats.cc.o.d"
+  "/root/repo/src/system/func_system.cc" "src/CMakeFiles/dir2b.dir/system/func_system.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/system/func_system.cc.o.d"
+  "/root/repo/src/timed/cache_ctrl.cc" "src/CMakeFiles/dir2b.dir/timed/cache_ctrl.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/timed/cache_ctrl.cc.o.d"
+  "/root/repo/src/timed/dir_ctrl.cc" "src/CMakeFiles/dir2b.dir/timed/dir_ctrl.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/timed/dir_ctrl.cc.o.d"
+  "/root/repo/src/timed/dir_ctrl_base.cc" "src/CMakeFiles/dir2b.dir/timed/dir_ctrl_base.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/timed/dir_ctrl_base.cc.o.d"
+  "/root/repo/src/timed/fm_dir_ctrl.cc" "src/CMakeFiles/dir2b.dir/timed/fm_dir_ctrl.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/timed/fm_dir_ctrl.cc.o.d"
+  "/root/repo/src/timed/timed_net.cc" "src/CMakeFiles/dir2b.dir/timed/timed_net.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/timed/timed_net.cc.o.d"
+  "/root/repo/src/timed/timed_system.cc" "src/CMakeFiles/dir2b.dir/timed/timed_system.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/timed/timed_system.cc.o.d"
+  "/root/repo/src/timed/yf_cache_ctrl.cc" "src/CMakeFiles/dir2b.dir/timed/yf_cache_ctrl.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/timed/yf_cache_ctrl.cc.o.d"
+  "/root/repo/src/timed/yf_dir_ctrl.cc" "src/CMakeFiles/dir2b.dir/timed/yf_dir_ctrl.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/timed/yf_dir_ctrl.cc.o.d"
+  "/root/repo/src/trace/reference.cc" "src/CMakeFiles/dir2b.dir/trace/reference.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/trace/reference.cc.o.d"
+  "/root/repo/src/trace/synthetic.cc" "src/CMakeFiles/dir2b.dir/trace/synthetic.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/trace/synthetic.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/CMakeFiles/dir2b.dir/trace/trace_io.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/trace/trace_io.cc.o.d"
+  "/root/repo/src/trace/trace_stats.cc" "src/CMakeFiles/dir2b.dir/trace/trace_stats.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/trace/trace_stats.cc.o.d"
+  "/root/repo/src/trace/workloads.cc" "src/CMakeFiles/dir2b.dir/trace/workloads.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/trace/workloads.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/dir2b.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/dir2b.dir/util/random.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/util/random.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/dir2b.dir/util/table.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/util/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

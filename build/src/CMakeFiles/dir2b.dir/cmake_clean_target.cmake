@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdir2b.a"
+)

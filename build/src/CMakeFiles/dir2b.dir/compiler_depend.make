@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dir2b.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fm_timed.dir/test_fm_timed.cc.o"
+  "CMakeFiles/test_fm_timed.dir/test_fm_timed.cc.o.d"
+  "test_fm_timed"
+  "test_fm_timed.pdb"
+  "test_fm_timed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fm_timed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_full_map.dir/test_full_map.cc.o"
+  "CMakeFiles/test_full_map.dir/test_full_map.cc.o.d"
+  "test_full_map"
+  "test_full_map.pdb"
+  "test_full_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_full_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

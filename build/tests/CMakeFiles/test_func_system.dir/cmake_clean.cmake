@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_func_system.dir/test_func_system.cc.o"
+  "CMakeFiles/test_func_system.dir/test_func_system.cc.o.d"
+  "test_func_system"
+  "test_func_system.pdb"
+  "test_func_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_func_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

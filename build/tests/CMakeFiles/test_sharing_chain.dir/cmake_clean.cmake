@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sharing_chain.dir/test_sharing_chain.cc.o"
+  "CMakeFiles/test_sharing_chain.dir/test_sharing_chain.cc.o.d"
+  "test_sharing_chain"
+  "test_sharing_chain.pdb"
+  "test_sharing_chain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sharing_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

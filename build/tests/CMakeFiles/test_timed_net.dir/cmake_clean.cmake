@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timed_net.dir/test_timed_net.cc.o"
+  "CMakeFiles/test_timed_net.dir/test_timed_net.cc.o.d"
+  "test_timed_net"
+  "test_timed_net.pdb"
+  "test_timed_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timed_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

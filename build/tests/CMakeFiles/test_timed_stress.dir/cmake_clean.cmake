@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timed_stress.dir/test_timed_stress.cc.o"
+  "CMakeFiles/test_timed_stress.dir/test_timed_stress.cc.o.d"
+  "test_timed_stress"
+  "test_timed_stress.pdb"
+  "test_timed_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timed_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_translation_buffer.dir/test_translation_buffer.cc.o"
+  "CMakeFiles/test_translation_buffer.dir/test_translation_buffer.cc.o.d"
+  "test_translation_buffer"
+  "test_translation_buffer.pdb"
+  "test_translation_buffer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_translation_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

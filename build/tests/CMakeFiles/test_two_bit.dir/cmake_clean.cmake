@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_two_bit.dir/test_two_bit.cc.o"
+  "CMakeFiles/test_two_bit.dir/test_two_bit.cc.o.d"
+  "test_two_bit"
+  "test_two_bit.pdb"
+  "test_two_bit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_two_bit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

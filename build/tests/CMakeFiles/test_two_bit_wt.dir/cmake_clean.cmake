@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_two_bit_wt.dir/test_two_bit_wt.cc.o"
+  "CMakeFiles/test_two_bit_wt.dir/test_two_bit_wt.cc.o.d"
+  "test_two_bit_wt"
+  "test_two_bit_wt.pdb"
+  "test_two_bit_wt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_two_bit_wt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

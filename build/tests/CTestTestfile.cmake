@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_event_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_filters[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_two_bit[1]_include.cmake")
+include("/root/repo/build/tests/test_full_map[1]_include.cmake")
+include("/root/repo/build/tests/test_protocols[1]_include.cmake")
+include("/root/repo/build/tests/test_translation_buffer[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_overhead_model[1]_include.cmake")
+include("/root/repo/build/tests/test_sharing_chain[1]_include.cmake")
+include("/root/repo/build/tests/test_timed[1]_include.cmake")
+include("/root/repo/build/tests/test_timed_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_timed_net[1]_include.cmake")
+include("/root/repo/build/tests/test_func_system[1]_include.cmake")
+include("/root/repo/build/tests/test_geometry_property[1]_include.cmake")
+include("/root/repo/build/tests/test_traffic_model[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_chain_vs_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_two_bit_wt[1]_include.cmake")
+include("/root/repo/build/tests/test_fm_timed[1]_include.cmake")
+include("/root/repo/build/tests/test_equivalence[1]_include.cmake")
+include("/root/repo/build/tests/test_yf_timed[1]_include.cmake")
