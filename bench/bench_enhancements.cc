@@ -15,21 +15,31 @@
  *     90% of the added overhead resulting from the broadcasts is
  *     eliminated").  We print capacity, measured H, remaining useless
  *     commands, and the elimination fraction vs. H.
+ *
+ * Plus the Present1 ablation (§3.2.1).  All sixteen simulation runs
+ * across the three experiments are independent, fixed-seed cells and
+ * dispatch through one sweep pool before anything is printed.
  */
 
 #include <cstdio>
+#include <functional>
 #include <memory>
+#include <vector>
 
 #include "core/two_bit_protocol.hh"
 #include "core/two_bit_tb_protocol.hh"
 #include "proto/protocol_factory.hh"
+#include "report/bench_cli.hh"
 #include "system/func_system.hh"
 #include "trace/synthetic.hh"
+#include "util/parallel.hh"
 
 namespace
 {
 
 using namespace dir2b;
+
+constexpr ProcId kProcs = 16;
 
 SyntheticConfig
 workload(ProcId n)
@@ -56,135 +66,163 @@ system(ProcId n)
     return cfg;
 }
 
-void
-snoopFilterExperiment()
+/** Everything one run contributes to the tables and the artifact. */
+struct RunCell
 {
-    constexpr ProcId n = 16;
-    constexpr std::uint64_t refs = 200000;
+    AccessCounts counts;
+    double tbHitRatio = 0.0;
+};
 
+RunCell
+runProto(Protocol &proto, const SyntheticConfig &scfg,
+         std::uint64_t refs)
+{
+    SyntheticStream stream(scfg);
+    RunOptions opts;
+    opts.numRefs = refs;
+    runFunctional(proto, stream, opts);
+    RunCell cell;
+    cell.counts = proto.counts();
+    return cell;
+}
+
+struct Present1Case
+{
+    const char *name;
+    double q;
+    double w;
+};
+
+const Present1Case kP1Cases[] = {{"low", 0.01, 0.2},
+                                 {"moderate", 0.05, 0.2},
+                                 {"high", 0.10, 0.4}};
+const std::size_t kTbCaps[] = {2u, 4u, 8u, 16u, 32u, 64u, 256u};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions bo = parseBenchOptions(
+        argc, argv, "bench_enhancements",
+        "E4 + E5: the Sec. 4.4 enhancements and the Present1 "
+        "ablation");
+    const WallTimer timer;
+    const std::uint64_t refs = bo.scaleRefs(200000);
+
+    constexpr std::size_t numCaps = std::size(kTbCaps);
+    constexpr std::size_t numP1 = std::size(kP1Cases);
+
+    // Slots: [0..1] snoop filter off/on; [2] TB baseline;
+    // [3..3+numCaps) TB sweep; then the Present1 grid.
+    std::vector<RunCell> cells(3 + numCaps + numP1 * 2);
+    std::vector<std::function<RunCell()>> tasks;
+    tasks.reserve(cells.size());
+
+    for (bool filter : {false, true}) {
+        tasks.push_back([filter, refs] {
+            ProtoConfig cfg = system(kProcs);
+            cfg.snoopFilter = filter;
+            TwoBitProtocol proto(cfg);
+            return runProto(proto, workload(kProcs), refs);
+        });
+    }
+    tasks.push_back([refs] {
+        TwoBitProtocol proto(system(kProcs));
+        return runProto(proto, workload(kProcs), refs);
+    });
+    for (std::size_t cap : kTbCaps) {
+        tasks.push_back([cap, refs] {
+            ProtoConfig cfg = system(kProcs);
+            cfg.tbCapacity = cap;
+            TwoBitTbProtocol proto(cfg);
+            RunCell cell = runProto(proto, workload(kProcs), refs);
+            cell.tbHitRatio = proto.tbHitRatio();
+            return cell;
+        });
+    }
+    for (const auto &c : kP1Cases) {
+        for (const char *variant : {"two_bit", "two_bit_nop1"}) {
+            tasks.push_back([&c, variant, refs] {
+                auto proto = makeProtocol(variant, system(kProcs));
+                SyntheticConfig scfg = workload(kProcs);
+                scfg.q = c.q;
+                scfg.w = c.w;
+                return runProto(*proto, scfg, refs);
+            });
+        }
+    }
+
+    parallelFor(
+        0, tasks.size(), [&](std::size_t i) { cells[i] = tasks[i](); },
+        bo.threads);
+
+    // --- E5: duplicate cache directory ---
     std::printf("E5 — enhancement (a): duplicate cache directory "
                 "(parallel controller)\n");
-    std::printf("moderate sharing, n=%u, %llu refs\n\n", n,
+    std::printf("moderate sharing, n=%u, %llu refs\n\n", kProcs,
                 static_cast<unsigned long long>(refs));
     std::printf("%-22s %14s %14s %14s\n", "config", "stolen cycles",
                 "filtered", "net messages");
-
-    for (bool filter : {false, true}) {
-        ProtoConfig cfg = system(n);
-        cfg.snoopFilter = filter;
-        TwoBitProtocol proto(cfg);
-        SyntheticStream stream(workload(n));
-        RunOptions opts;
-        opts.numRefs = refs;
-        runFunctional(proto, stream, opts);
+    for (int i = 0; i < 2; ++i) {
+        const auto &c = cells[static_cast<std::size_t>(i)].counts;
         std::printf("%-22s %14llu %14llu %14llu\n",
-                    filter ? "with duplicate dir" : "plain two-bit",
-                    static_cast<unsigned long long>(
-                        proto.counts().stolenCycles),
-                    static_cast<unsigned long long>(
-                        proto.counts().filteredCmds),
-                    static_cast<unsigned long long>(
-                        proto.counts().netMessages));
+                    i ? "with duplicate dir" : "plain two-bit",
+                    static_cast<unsigned long long>(c.stolenCycles),
+                    static_cast<unsigned long long>(c.filteredCmds),
+                    static_cast<unsigned long long>(c.netMessages));
     }
     std::printf("\nWith the duplicate directory the cache only loses a "
                 "cycle when the\nbroadcast block is actually present; "
                 "network traffic is unchanged\n(the limitation the "
                 "paper notes for this enhancement).\n\n");
-}
 
-void
-translationBufferExperiment()
-{
-    constexpr ProcId n = 16;
-    constexpr std::uint64_t refs = 200000;
-
-    // Baseline: plain two-bit overhead.
-    ProtoConfig base = system(n);
-    TwoBitProtocol plain(base);
-    {
-        SyntheticStream stream(workload(n));
-        RunOptions opts;
-        opts.numRefs = refs;
-        runFunctional(plain, stream, opts);
-    }
-    const double baseline =
-        static_cast<double>(plain.counts().uselessCmds);
-
+    // --- E4: translation buffer sweep ---
+    const RunCell &base = cells[2];
+    const double baseline = static_cast<double>(base.counts.uselessCmds);
     std::printf("E4 — enhancement (b): translation buffer sweep "
                 "(n=%u, %llu refs)\n\n",
-                n, static_cast<unsigned long long>(refs));
+                kProcs, static_cast<unsigned long long>(refs));
     std::printf("%-12s %10s %16s %18s %12s\n", "TB capacity",
                 "hit ratio", "useless cmds", "eliminated frac",
                 "broadcasts");
     std::printf("%-12s %10s %16.0f %18s %12llu\n", "none (base)", "-",
                 baseline, "-",
-                static_cast<unsigned long long>(
-                    plain.counts().broadcasts));
-
-    for (std::size_t cap : {2u, 4u, 8u, 16u, 32u, 64u, 256u}) {
-        ProtoConfig cfg = system(n);
-        cfg.tbCapacity = cap;
-        TwoBitTbProtocol proto(cfg);
-        SyntheticStream stream(workload(n));
-        RunOptions opts;
-        opts.numRefs = refs;
-        runFunctional(proto, stream, opts);
-
+                static_cast<unsigned long long>(base.counts.broadcasts));
+    std::vector<double> eliminated(numCaps);
+    for (std::size_t k = 0; k < numCaps; ++k) {
+        const RunCell &cell = cells[3 + k];
         const double useless =
-            static_cast<double>(proto.counts().uselessCmds);
-        const double eliminated =
-            baseline > 0 ? 1.0 - useless / baseline : 0.0;
-        std::printf("%-12zu %10.3f %16.0f %18.3f %12llu\n", cap,
-                    proto.tbHitRatio(), useless, eliminated,
+            static_cast<double>(cell.counts.uselessCmds);
+        eliminated[k] = baseline > 0 ? 1.0 - useless / baseline : 0.0;
+        std::printf("%-12zu %10.3f %16.0f %18.3f %12llu\n", kTbCaps[k],
+                    cell.tbHitRatio, useless, eliminated[k],
                     static_cast<unsigned long long>(
-                        proto.counts().broadcasts));
+                        cell.counts.broadcasts));
     }
     std::printf(
         "\nThe elimination fraction tracks the buffer hit ratio: at "
         "H~0.9 about\n90%% of the broadcast overhead disappears, and "
         "with a large enough\nbuffer the scheme approaches the full "
         "map (the paper's limiting claim).\n");
-}
 
-void
-present1Ablation()
-{
-    // §3.2.1's design note: EJECT(k,olda,"read") "could be ignored ...
-    // however keeping Present1, and allowing the transition from
-    // Present1 to Absent, will reduce the number of broadcasts."  This
-    // quantifies the claim: the same workloads with and without the
-    // Present1 encoding (folded into Present*).
-    constexpr ProcId n = 16;
-    constexpr std::uint64_t refs = 200000;
-
+    // --- Present1 ablation ---
     std::printf("\nAblation — the value of the Present1 encoding "
                 "(n=%u, %llu refs)\n\n",
-                n, static_cast<unsigned long long>(refs));
+                kProcs, static_cast<unsigned long long>(refs));
     std::printf("%-12s %-14s %12s %12s %14s\n", "sharing",
                 "variant", "broadcasts", "useless", "mrequests");
-
-    struct Case { const char *name; double q; double w; };
-    const Case cases[] = {{"low", 0.01, 0.2}, {"moderate", 0.05, 0.2},
-                          {"high", 0.10, 0.4}};
-    for (const auto &c : cases) {
-        for (const char *variant : {"two_bit", "two_bit_nop1"}) {
-            ProtoConfig cfg = system(n);
-            auto proto = makeProtocol(variant, cfg);
-            SyntheticConfig scfg = workload(n);
-            scfg.q = c.q;
-            scfg.w = c.w;
-            SyntheticStream stream(scfg);
-            RunOptions opts;
-            opts.numRefs = refs;
-            runFunctional(*proto, stream, opts);
-            std::printf("%-12s %-14s %12llu %12llu %14llu\n", c.name,
-                        variant,
-                        static_cast<unsigned long long>(
-                            proto->counts().broadcasts),
-                        static_cast<unsigned long long>(
-                            proto->counts().uselessCmds),
-                        static_cast<unsigned long long>(
-                            proto->counts().mrequests));
+    const std::size_t p1Base = 3 + numCaps;
+    for (std::size_t ci = 0; ci < numP1; ++ci) {
+        for (int vi = 0; vi < 2; ++vi) {
+            const auto &c = cells[p1Base + ci * 2 +
+                                  static_cast<std::size_t>(vi)].counts;
+            std::printf("%-12s %-14s %12llu %12llu %14llu\n",
+                        kP1Cases[ci].name,
+                        vi ? "two_bit_nop1" : "two_bit",
+                        static_cast<unsigned long long>(c.broadcasts),
+                        static_cast<unsigned long long>(c.uselessCmds),
+                        static_cast<unsigned long long>(c.mrequests));
         }
     }
     std::printf("\nWithout Present1, every first write to a "
@@ -192,15 +230,53 @@ present1Ablation()
                 "MGRANTED), and clean ejections can never reclaim\n"
                 "Absent — both broadcast counts rise, vindicating the "
                 "fourth state.\n");
-}
 
-} // namespace
-
-int
-main()
-{
-    snoopFilterExperiment();
-    translationBufferExperiment();
-    present1Ablation();
+    // --- artifact ---
+    Json params = Json::object();
+    params.set("n", kProcs);
+    params.set("refs", static_cast<unsigned long long>(refs));
+    Json jcells = Json::array();
+    for (int i = 0; i < 2; ++i) {
+        Json c = Json::object();
+        c.set("section", "duplicate_dir");
+        c.set("snoopFilter", i == 1);
+        c.set("counts",
+              countsToJson(cells[static_cast<std::size_t>(i)].counts));
+        jcells.push(std::move(c));
+    }
+    {
+        Json c = Json::object();
+        c.set("section", "tb_sweep");
+        c.set("tbCapacity", 0);
+        c.set("counts", countsToJson(base.counts));
+        jcells.push(std::move(c));
+    }
+    for (std::size_t k = 0; k < numCaps; ++k) {
+        Json c = Json::object();
+        c.set("section", "tb_sweep");
+        c.set("tbCapacity",
+              static_cast<unsigned long long>(kTbCaps[k]));
+        c.set("tbHitRatio", cells[3 + k].tbHitRatio);
+        c.set("eliminatedFraction", eliminated[k]);
+        c.set("counts", countsToJson(cells[3 + k].counts));
+        jcells.push(std::move(c));
+    }
+    for (std::size_t ci = 0; ci < numP1; ++ci) {
+        for (int vi = 0; vi < 2; ++vi) {
+            Json c = Json::object();
+            c.set("section", "present1_ablation");
+            c.set("case", kP1Cases[ci].name);
+            c.set("q", kP1Cases[ci].q);
+            c.set("w", kP1Cases[ci].w);
+            c.set("variant", vi ? "two_bit_nop1" : "two_bit");
+            c.set("counts",
+                  countsToJson(
+                      cells[p1Base + ci * 2 +
+                            static_cast<std::size_t>(vi)].counts));
+            jcells.push(std::move(c));
+        }
+    }
+    emitArtifact(bo, "bench_enhancements", std::move(params),
+                 std::move(jcells), Json(), timer);
     return 0;
 }

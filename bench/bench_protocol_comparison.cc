@@ -13,6 +13,11 @@
  * compile-time classification cannot express the other patterns'
  * cross-processor write sharing of "private" regions is fine — but
  * task migration is excluded by the scheme's own premise).
+ *
+ * The workload x protocol grid dispatches through the sweep pool
+ * (--threads / DIR2B_THREADS); each cell owns its protocol, stream
+ * and seed, so the tables and the --json artifact are identical at
+ * any thread count.
  */
 
 #include <cstdio>
@@ -21,14 +26,28 @@
 #include <vector>
 
 #include "proto/protocol_factory.hh"
+#include "report/bench_cli.hh"
 #include "system/func_system.hh"
 #include "trace/synthetic.hh"
 #include "trace/workloads.hh"
+#include "util/parallel.hh"
 
 namespace
 {
 
 using namespace dir2b;
+
+constexpr ProcId kProcs = 8;
+constexpr std::uint64_t kFullRefs = 150000;
+
+const std::vector<std::string> &
+workloadNames()
+{
+    static const std::vector<std::string> names = {
+        "synthetic", "read_mostly", "producer_consumer", "migratory",
+        "lock"};
+    return names;
+}
 
 std::unique_ptr<RefStream>
 makeStream(const std::string &workload, ProcId n)
@@ -61,45 +80,65 @@ makeStream(const std::string &workload, ProcId n)
     return nullptr;
 }
 
-void
-runWorkload(const std::string &workload)
+struct Cell
 {
-    constexpr ProcId n = 8;
-    constexpr std::uint64_t refs = 150000;
+    std::string workload;
+    std::string protocol;
+    unsigned bits = 0;
+    AccessCounts counts;
+};
 
+Cell
+runCell(const std::string &workload, const std::string &protocol,
+        std::uint64_t refs)
+{
+    ProtoConfig cfg;
+    cfg.numProcs = kProcs;
+    cfg.cacheGeom.sets = 32;
+    cfg.cacheGeom.ways = 4;
+    cfg.numModules = 4;
+    cfg.tbCapacity = 32;
+    cfg.biasCapacity = 16;
+    cfg.nonCacheableBase = sharedRegionBase;
+
+    auto proto = makeProtocol(protocol, cfg);
+    auto stream = makeStream(workload, kProcs);
+    RunOptions opts;
+    opts.numRefs = refs;
+    const RunResult r = runFunctional(*proto, *stream, opts);
+
+    Cell c;
+    c.workload = workload;
+    c.protocol = protocol;
+    c.bits = proto->directoryBitsPerBlock();
+    c.counts = r.counts;
+    return c;
+}
+
+void
+printWorkload(const std::string &workload,
+              const std::vector<Cell> &cells, std::uint64_t refs)
+{
     std::printf("workload: %s (n=%u, %llu refs; per-1000-references "
                 "rates)\n",
-                workload.c_str(), n,
+                workload.c_str(), kProcs,
                 static_cast<unsigned long long>(refs));
     std::printf("%-15s %5s %8s %8s %8s %8s %8s %8s %8s %8s\n",
                 "protocol", "bits", "netMsg", "recvCmd", "useless",
                 "inval", "wrBack", "wordWr", "snoop", "miss%");
 
-    for (const auto &name : protocolNames()) {
-        ProtoConfig cfg;
-        cfg.numProcs = n;
-        cfg.cacheGeom.sets = 32;
-        cfg.cacheGeom.ways = 4;
-        cfg.numModules = 4;
-        cfg.tbCapacity = 32;
-        cfg.biasCapacity = 16;
-        cfg.nonCacheableBase = sharedRegionBase;
-
-        auto proto = makeProtocol(name, cfg);
-        auto stream = makeStream(workload, n);
-        RunOptions opts;
-        opts.numRefs = refs;
-        const RunResult r = runFunctional(*proto, *stream, opts);
-
-        const double k = 1000.0 / static_cast<double>(refs);
-        const auto &c = r.counts;
+    const double k = 1000.0 / static_cast<double>(refs);
+    for (const Cell &cell : cells) {
+        if (cell.workload != workload)
+            continue;
+        const auto &c = cell.counts;
         std::printf(
             "%-15s %5u %8.1f %8.1f %8.1f %8.1f %8.1f %8.1f %8.1f "
             "%7.2f%%\n",
-            name.c_str(), proto->directoryBitsPerBlock(),
-            c.netMessages * k, (c.broadcastCmds + c.directedCmds) * k,
-            c.uselessCmds * k, c.invalidations * k, c.writebacks * k,
-            c.wordWrites * k, c.snoopChecks * k, 100.0 * c.missRatio());
+            cell.protocol.c_str(), cell.bits, c.netMessages * k,
+            (c.broadcastCmds + c.directedCmds) * k, c.uselessCmds * k,
+            c.invalidations * k, c.writebacks * k, c.wordWrites * k,
+            c.snoopChecks * k, 100.0 * c.missRatio());
     }
     std::printf("\n");
 }
@@ -107,15 +146,32 @@ runWorkload(const std::string &workload)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions bo = parseBenchOptions(
+        argc, argv, "bench_protocol_comparison",
+        "E7: all coherence schemes on common workloads (Sec. 2 "
+        "spectrum)");
+    const WallTimer timer;
+    const std::uint64_t refs = bo.scaleRefs(kFullRefs);
+
+    // One cell per (workload, protocol), in fixed grid order.
+    const auto &workloads = workloadNames();
+    const auto protocols = protocolNames();
+    std::vector<Cell> cells(workloads.size() * protocols.size());
+    parallelFor(
+        0, cells.size(),
+        [&](std::size_t i) {
+            const std::string &w = workloads[i / protocols.size()];
+            const std::string &p = protocols[i % protocols.size()];
+            cells[i] = runCell(w, p, refs);
+        },
+        bo.threads);
+
     std::printf("E7: the Sec. 2 spectrum quantified — all schemes on "
                 "common workloads\n\n");
-    for (const char *w :
-         {"synthetic", "read_mostly", "producer_consumer", "migratory",
-          "lock"}) {
-        runWorkload(w);
-    }
+    for (const auto &w : workloads)
+        printWorkload(w, cells, refs);
     std::printf(
         "Reading guide (the paper's qualitative claims, now measured):\n"
         " * full_map/dup_dir/two_bit_tb: zero useless commands;\n"
@@ -127,5 +183,21 @@ main()
         "   a bus, unavailable on a general interconnection network;\n"
         " * software: zero coherence traffic, but every shared access\n"
         "   is a memory round trip (miss%% includes them).\n");
+
+    Json params = Json::object();
+    params.set("n", kProcs);
+    params.set("refs", static_cast<unsigned long long>(refs));
+    Json jcells = Json::array();
+    for (const Cell &c : cells) {
+        Json jc = Json::object();
+        jc.set("section", "comparison");
+        jc.set("workload", c.workload);
+        jc.set("protocol", c.protocol);
+        jc.set("dirBitsPerBlock", c.bits);
+        jc.set("counts", countsToJson(c.counts));
+        jcells.push(std::move(jc));
+    }
+    emitArtifact(bo, "bench_protocol_comparison", std::move(params),
+                 std::move(jcells), Json(), timer);
     return 0;
 }

@@ -12,12 +12,19 @@
  * to ours; the comparison target is the *shape* (growth in n, q, w and
  * the acceptability boundaries), which the paper itself relies on when
  * it says the "two different methods of analysis agree well".
+ *
+ * The 60-cell grid dispatches through the sweep pool; the ordering
+ * summary reuses the computed cells.  --json exports every cell with
+ * both values (docs/METRICS.md).
  */
 
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "model/sharing_chain.hh"
+#include "report/bench_cli.hh"
+#include "util/parallel.hh"
 #include "util/table.hh"
 
 namespace
@@ -48,11 +55,37 @@ const double qs[3] = {0.01, 0.05, 0.10};
 const double ws[4] = {0.1, 0.2, 0.3, 0.4};
 const unsigned ns[5] = {4, 8, 16, 32, 64};
 
+constexpr int kCells = 3 * 4 * 5;
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions bo = parseBenchOptions(
+        argc, argv, "bench_table_4_2",
+        "E2: Table 4-2 from the reconstructed Dubois-Briggs chain");
+    const WallTimer timer;
+
+    // Flat index i = ((qi * 4) + wi) * 5 + ni, matching the print
+    // order; each cell solves its own chain.
+    std::vector<double> cells(kCells);
+    parallelFor(
+        0, kCells,
+        [&](std::size_t i) {
+            ChainParams cp;
+            cp.n = ns[i % 5];
+            cp.q = qs[i / 20];
+            cp.w = ws[(i / 5) % 4];
+            cp.sharedBlocks = 16;
+            cp.evictRate = evictRateFromGeometry(cp.n, 128);
+            cells[i] = solveFullMapChain(cp).perCache;
+        },
+        bo.threads);
+    auto ours = [&](int qi, int wi, int ni) {
+        return cells[static_cast<std::size_t>((qi * 4 + wi) * 5 + ni)];
+    };
+
     TextTable t({"", "n: 4", "8", "16", "32", "64"});
     t.setTitle(
         "Table 4-2 (reproduction): added overhead from the "
@@ -66,17 +99,9 @@ main()
         for (int wi = 0; wi < 4; ++wi) {
             std::vector<std::string> row{"  w = " +
                                          TextTable::num(ws[wi], 1)};
-            for (int ni = 0; ni < 5; ++ni) {
-                ChainParams cp;
-                cp.n = ns[ni];
-                cp.q = qs[qi];
-                cp.w = ws[wi];
-                cp.sharedBlocks = 16;
-                cp.evictRate = evictRateFromGeometry(ns[ni], 128);
-                const auto r = solveFullMapChain(cp);
-                row.push_back(TextTable::num(r.perCache) + "/" +
+            for (int ni = 0; ni < 5; ++ni)
+                row.push_back(TextTable::num(ours(qi, wi, ni)) + "/" +
                               TextTable::num(paper42[qi][wi][ni]));
-            }
             t.addRow(std::move(row));
         }
         t.addRule();
@@ -87,17 +112,8 @@ main()
     // tables' orderings.
     int agree = 0;
     int total = 0;
-    auto ours = [](int qi, int wi, int ni) {
-        ChainParams cp;
-        cp.n = ns[ni];
-        cp.q = qs[qi];
-        cp.w = ws[wi];
-        cp.sharedBlocks = 16;
-        cp.evictRate = evictRateFromGeometry(ns[ni], 128);
-        return solveFullMapChain(cp).perCache;
-    };
-    for (int a = 0; a < 3 * 4 * 5; ++a) {
-        for (int b = a + 1; b < 3 * 4 * 5; ++b) {
+    for (int a = 0; a < kCells; ++a) {
+        for (int b = a + 1; b < kCells; ++b) {
             const double oa = ours(a / 20, (a / 5) % 4, a % 5);
             const double ob = ours(b / 20, (b / 5) % 4, b % 5);
             const double pa = paper42[a / 20][(a / 5) % 4][a % 5];
@@ -116,5 +132,25 @@ main()
                 ours(0, 3, 4) < 1.0 ? "yes" : "no",
                 ours(1, 3, 2) < 1.0 ? "yes" : "no",
                 ours(2, 3, 2) > 0.5 ? "yes" : "no");
+
+    Json params = Json::object();
+    params.set("sharedBlocks", 16);
+    params.set("cacheBlocks", 128);
+    Json jcells = Json::array();
+    for (int i = 0; i < kCells; ++i) {
+        Json c = Json::object();
+        c.set("section", "dubois_briggs");
+        c.set("q", qs[i / 20]);
+        c.set("w", ws[(i / 5) % 4]);
+        c.set("n", ns[i % 5]);
+        c.set("perCache", cells[static_cast<std::size_t>(i)]);
+        c.set("paper", paper42[i / 20][(i / 5) % 4][i % 5]);
+        jcells.push(std::move(c));
+    }
+    Json summary = Json::object();
+    summary.set("orderingAgree", agree);
+    summary.set("orderingTotal", total);
+    emitArtifact(bo, "bench_table_4_2", std::move(params),
+                 std::move(jcells), std::move(summary), timer);
     return 0;
 }

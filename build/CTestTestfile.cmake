@@ -6,5 +6,6 @@
 # testing this directory and lists subdirectories to be tested as well.
 subdirs("src")
 subdirs("tests")
+subdirs("tools")
 subdirs("bench")
 subdirs("examples")

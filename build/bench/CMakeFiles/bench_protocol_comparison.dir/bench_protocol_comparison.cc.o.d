@@ -220,7 +220,25 @@ bench/CMakeFiles/bench_protocol_comparison.dir/bench_protocol_comparison.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/memory/address_map.hh \
  /root/repo/src/memory/backing_store.hh /root/repo/src/sim/stats.hh \
- /root/repo/src/proto/counts.hh /root/repo/src/system/func_system.hh \
- /root/repo/src/check/oracle.hh /root/repo/src/core/global_state.hh \
- /root/repo/src/trace/reference.hh /root/repo/src/trace/synthetic.hh \
- /root/repo/src/trace/workloads.hh
+ /root/repo/src/proto/counts.hh /root/repo/src/report/bench_cli.hh \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/report/report.hh \
+ /root/repo/src/report/json.hh /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/system/func_system.hh /root/repo/src/check/oracle.hh \
+ /root/repo/src/core/global_state.hh /root/repo/src/trace/reference.hh \
+ /root/repo/src/trace/synthetic.hh /root/repo/src/trace/workloads.hh \
+ /root/repo/src/util/parallel.hh /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread

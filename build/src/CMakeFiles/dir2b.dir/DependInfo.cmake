@@ -29,6 +29,9 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/proto/protocol_factory.cc" "src/CMakeFiles/dir2b.dir/proto/protocol_factory.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/proto/protocol_factory.cc.o.d"
   "/root/repo/src/proto/software.cc" "src/CMakeFiles/dir2b.dir/proto/software.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/proto/software.cc.o.d"
   "/root/repo/src/proto/write_once.cc" "src/CMakeFiles/dir2b.dir/proto/write_once.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/proto/write_once.cc.o.d"
+  "/root/repo/src/report/bench_cli.cc" "src/CMakeFiles/dir2b.dir/report/bench_cli.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/report/bench_cli.cc.o.d"
+  "/root/repo/src/report/json.cc" "src/CMakeFiles/dir2b.dir/report/json.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/report/json.cc.o.d"
+  "/root/repo/src/report/report.cc" "src/CMakeFiles/dir2b.dir/report/report.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/report/report.cc.o.d"
   "/root/repo/src/sim/stats.cc" "src/CMakeFiles/dir2b.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/sim/stats.cc.o.d"
   "/root/repo/src/system/func_system.cc" "src/CMakeFiles/dir2b.dir/system/func_system.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/system/func_system.cc.o.d"
   "/root/repo/src/timed/cache_ctrl.cc" "src/CMakeFiles/dir2b.dir/timed/cache_ctrl.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/timed/cache_ctrl.cc.o.d"
@@ -45,6 +48,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/trace/trace_stats.cc" "src/CMakeFiles/dir2b.dir/trace/trace_stats.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/trace/trace_stats.cc.o.d"
   "/root/repo/src/trace/workloads.cc" "src/CMakeFiles/dir2b.dir/trace/workloads.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/trace/workloads.cc.o.d"
   "/root/repo/src/util/logging.cc" "src/CMakeFiles/dir2b.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/parallel.cc" "src/CMakeFiles/dir2b.dir/util/parallel.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/util/parallel.cc.o.d"
   "/root/repo/src/util/random.cc" "src/CMakeFiles/dir2b.dir/util/random.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/util/random.cc.o.d"
   "/root/repo/src/util/table.cc" "src/CMakeFiles/dir2b.dir/util/table.cc.o" "gcc" "src/CMakeFiles/dir2b.dir/util/table.cc.o.d"
   )

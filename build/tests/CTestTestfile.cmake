@@ -29,3 +29,5 @@ include("/root/repo/build/tests/test_two_bit_wt[1]_include.cmake")
 include("/root/repo/build/tests/test_fm_timed[1]_include.cmake")
 include("/root/repo/build/tests/test_equivalence[1]_include.cmake")
 include("/root/repo/build/tests/test_yf_timed[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_report[1]_include.cmake")

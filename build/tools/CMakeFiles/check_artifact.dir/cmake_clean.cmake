@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check_artifact.dir/check_artifact.cc.o"
+  "CMakeFiles/check_artifact.dir/check_artifact.cc.o.d"
+  "check_artifact"
+  "check_artifact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check_artifact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

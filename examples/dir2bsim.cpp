@@ -4,19 +4,24 @@
  *
  * Runs any of the nine protocols over a synthetic workload or a
  * recorded trace and dumps the full counter set; can also record
- * traces for replay.  This is the tool a user reaches for before
- * writing code against the library.
+ * traces for replay, sweep a processor-count grid in parallel, and
+ * export machine-readable JSON artifacts (docs/METRICS.md).  This is
+ * the tool a user reaches for before writing code against the
+ * library.
  *
  * Usage examples:
  *
  *   dir2bsim --protocol two_bit --procs 8 --refs 1000000
  *   dir2bsim --protocol full_map --q 0.1 --w 0.4 --refs 500000
  *   dir2bsim --protocol two_bit_tb --tb 64 --refs 200000
+ *   dir2bsim --protocol two_bit --sweep-procs 2,4,8,16 --threads 4
+ *   dir2bsim --protocol two_bit --json run.json
  *   dir2bsim --record /tmp/t.trc --refs 10000
  *   dir2bsim --trace /tmp/t.trc --protocol classical
  *   dir2bsim --list-protocols
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,13 +29,16 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "proto/protocol_factory.hh"
+#include "report/report.hh"
 #include "system/func_system.hh"
 #include "trace/synthetic.hh"
 #include "trace/trace_io.hh"
 #include "trace/trace_stats.hh"
 #include "util/logging.hh"
+#include "util/parallel.hh"
 
 using namespace dir2b;
 
@@ -42,6 +50,9 @@ struct Options
     std::string protocol = "two_bit";
     std::string tracePath;
     std::string recordPath;
+    std::string jsonPath;
+    std::vector<ProcId> sweepProcs;
+    unsigned threads = 0;
     ProcId procs = 4;
     std::size_t sets = 32;
     std::size_t ways = 4;
@@ -77,6 +88,12 @@ usage(const char *argv0)
         "  --seed N            workload seed\n"
         "  --trace FILE        replay a recorded trace\n"
         "  --record FILE       record the workload instead of running\n"
+        "  --json FILE         export results as a JSON artifact\n"
+        "                      (schema: docs/METRICS.md)\n"
+        "  --sweep-procs LIST  run once per comma-separated processor\n"
+        "                      count (e.g. 2,4,8), cells in parallel\n"
+        "  --threads N         sweep-pool width (default: the\n"
+        "                      DIR2B_THREADS env var, else all cores)\n"
         "  --no-oracle         skip coherence checking (faster)\n"
         "  --analyze           print trace statistics, don't simulate\n"
         "  --invariants        deep-check structures every 1k refs\n"
@@ -128,6 +145,30 @@ parse(int argc, char **argv)
             o.tracePath = need(i);
         } else if (arg == "--record") {
             o.recordPath = need(i);
+        } else if (arg == "--json") {
+            o.jsonPath = need(i);
+        } else if (arg == "--sweep-procs") {
+            std::string list = need(i);
+            for (std::size_t pos = 0; pos < list.size();) {
+                const std::size_t comma = list.find(',', pos);
+                const std::string tok = list.substr(
+                    pos, comma == std::string::npos ? comma
+                                                    : comma - pos);
+                const int v = std::atoi(tok.c_str());
+                if (v <= 0)
+                    DIR2B_FATAL("--sweep-procs: bad count '", tok, "'");
+                o.sweepProcs.push_back(static_cast<ProcId>(v));
+                if (comma == std::string::npos)
+                    break;
+                pos = comma + 1;
+            }
+            if (o.sweepProcs.empty())
+                DIR2B_FATAL("--sweep-procs: empty list");
+        } else if (arg == "--threads") {
+            const long v = std::atol(need(i));
+            if (v <= 0)
+                DIR2B_FATAL("--threads wants a positive integer");
+            o.threads = static_cast<unsigned>(v);
         } else if (arg == "--no-oracle") {
             o.noOracle = true;
         } else if (arg == "--analyze") {
@@ -146,11 +187,13 @@ parse(int argc, char **argv)
             DIR2B_FATAL("unknown option '", arg, "'");
         }
     }
+    if (o.threads)
+        setDefaultThreadCount(o.threads);
     return o;
 }
 
 std::unique_ptr<RefStream>
-makeStream(const Options &o)
+makeStream(const Options &o, ProcId procs)
 {
     if (!o.tracePath.empty()) {
         std::ifstream in(o.tracePath);
@@ -159,7 +202,7 @@ makeStream(const Options &o)
         return std::make_unique<VectorStream>(readTrace(in));
     }
     SyntheticConfig cfg;
-    cfg.numProcs = o.procs;
+    cfg.numProcs = procs;
     cfg.q = o.q;
     cfg.w = o.w;
     cfg.sharedBlocks = o.sharedBlocks;
@@ -170,13 +213,122 @@ makeStream(const Options &o)
     return std::make_unique<SyntheticStream>(cfg);
 }
 
+ProtoConfig
+protoConfig(const Options &o, ProcId procs)
+{
+    ProtoConfig cfg;
+    cfg.numProcs = procs;
+    cfg.cacheGeom.sets = o.sets;
+    cfg.cacheGeom.ways = o.ways;
+    cfg.numModules = o.modules;
+    cfg.tbCapacity = o.tbCapacity;
+    cfg.biasCapacity = o.biasCapacity;
+    cfg.nonCacheableBase = sharedRegionBase;
+    return cfg;
+}
+
+Json
+configJson(const Options &o)
+{
+    Json p = Json::object();
+    p.set("protocol", o.protocol);
+    p.set("sets", static_cast<unsigned long long>(o.sets));
+    p.set("ways", static_cast<unsigned long long>(o.ways));
+    p.set("modules", static_cast<unsigned>(o.modules));
+    p.set("q", o.q);
+    p.set("w", o.w);
+    p.set("sharedBlocks",
+          static_cast<unsigned long long>(o.sharedBlocks));
+    p.set("locality", o.locality);
+    p.set("refs", static_cast<unsigned long long>(o.refs));
+    p.set("seed", static_cast<unsigned long long>(o.seed));
+    return p;
+}
+
+int
+runSweep(const Options &o)
+{
+    if (!o.tracePath.empty())
+        DIR2B_FATAL("--sweep-procs runs synthetic workloads only");
+
+    const auto start = std::chrono::steady_clock::now();
+    struct Cell
+    {
+        unsigned bits = 0;
+        RunResult result;
+    };
+    std::vector<Cell> cells(o.sweepProcs.size());
+    parallelFor(
+        0, cells.size(),
+        [&](std::size_t i) {
+            const ProcId procs = o.sweepProcs[i];
+            auto proto = makeProtocol(o.protocol,
+                                      protoConfig(o, procs));
+            auto stream = makeStream(o, procs);
+            RunOptions opts;
+            opts.numRefs = o.refs;
+            opts.checkCoherence = !o.noOracle;
+            opts.invariantEvery = o.invariants ? 1000 : 0;
+            cells[i].result = runFunctional(*proto, *stream, opts);
+            cells[i].bits = proto->directoryBitsPerBlock();
+        },
+        o.threads);
+
+    std::printf("# dir2bsim sweep: protocol=%s refs/cell=%llu "
+                "threads=%u\n",
+                o.protocol.c_str(),
+                static_cast<unsigned long long>(o.refs),
+                o.threads ? o.threads : defaultThreadCount());
+    std::printf("%6s %10s %10s %12s %12s %10s\n", "procs", "netMsg",
+                "useless", "inval", "perCacheOvh", "miss%");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const auto &c = cells[i].result.counts;
+        std::printf("%6u %10llu %10llu %12llu %12.4f %9.2f%%\n",
+                    o.sweepProcs[i],
+                    static_cast<unsigned long long>(c.netMessages),
+                    static_cast<unsigned long long>(c.uselessCmds),
+                    static_cast<unsigned long long>(c.invalidations),
+                    cells[i].result.perCacheUselessPerRef,
+                    100.0 * c.missRatio());
+    }
+
+    if (!o.jsonPath.empty()) {
+        Json jcells = Json::array();
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            Json c = Json::object();
+            c.set("section", "sweep");
+            c.set("procs", o.sweepProcs[i]);
+            c.set("dirBitsPerBlock", cells[i].bits);
+            c.set("result", runResultToJson(cells[i].result));
+            jcells.push(std::move(c));
+        }
+        Json artifact = makeSweepArtifact("dir2bsim", configJson(o),
+                                          std::move(jcells));
+        const auto wall =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        stampMeta(artifact,
+                  o.threads ? o.threads : defaultThreadCount(), wall,
+                  false);
+        writeArtifact(o.jsonPath, artifact);
+        std::printf("wrote %s (%zu cells)\n", o.jsonPath.c_str(),
+                    cells.size());
+    }
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     const Options o = parse(argc, argv);
-    auto stream = makeStream(o);
+
+    if (!o.sweepProcs.empty())
+        return runSweep(o);
+
+    auto stream = makeStream(o, o.procs);
 
     if (o.analyze) {
         const auto refs = recordStream(*stream, o.refs);
@@ -195,15 +347,8 @@ main(int argc, char **argv)
         return 0;
     }
 
-    ProtoConfig cfg;
-    cfg.numProcs = o.procs;
-    cfg.cacheGeom.sets = o.sets;
-    cfg.cacheGeom.ways = o.ways;
-    cfg.numModules = o.modules;
-    cfg.tbCapacity = o.tbCapacity;
-    cfg.biasCapacity = o.biasCapacity;
-    cfg.nonCacheableBase = sharedRegionBase;
-    auto proto = makeProtocol(o.protocol, cfg);
+    const auto start = std::chrono::steady_clock::now();
+    auto proto = makeProtocol(o.protocol, protoConfig(o, o.procs));
 
     RunOptions opts;
     opts.numRefs = o.refs;
@@ -231,5 +376,26 @@ main(int argc, char **argv)
                 proto->directoryBitsPerBlock());
     if (!o.noOracle)
         std::printf("# coherence: every read verified\n");
+
+    if (!o.jsonPath.empty()) {
+        Json cells = Json::array();
+        Json c = Json::object();
+        c.set("section", "run");
+        c.set("procs", o.procs);
+        c.set("dirBitsPerBlock", proto->directoryBitsPerBlock());
+        c.set("result", runResultToJson(r));
+        cells.push(std::move(c));
+        Json artifact = makeSweepArtifact("dir2bsim", configJson(o),
+                                          std::move(cells));
+        const auto wall =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        stampMeta(artifact,
+                  o.threads ? o.threads : defaultThreadCount(), wall,
+                  false);
+        writeArtifact(o.jsonPath, artifact);
+        std::printf("wrote %s (1 cell)\n", o.jsonPath.c_str());
+    }
     return 0;
 }

@@ -1,0 +1,533 @@
+#include "report/json.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/logging.hh"
+
+namespace dir2b
+{
+
+Json &
+Json::set(const std::string &key, Json v)
+{
+    DIR2B_ASSERT(kind_ == Kind::Object, "Json::set on non-object");
+    for (auto &m : object_) {
+        if (m.first == key) {
+            m.second = std::move(v);
+            return *this;
+        }
+    }
+    object_.emplace_back(key, std::move(v));
+    return *this;
+}
+
+Json &
+Json::push(Json v)
+{
+    DIR2B_ASSERT(kind_ == Kind::Array, "Json::push on non-array");
+    array_.push_back(std::move(v));
+    return *this;
+}
+
+std::size_t
+Json::size() const
+{
+    if (kind_ == Kind::Array)
+        return array_.size();
+    if (kind_ == Kind::Object)
+        return object_.size();
+    return 0;
+}
+
+bool
+Json::contains(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return false;
+    for (const auto &m : object_)
+        if (m.first == key)
+            return true;
+    return false;
+}
+
+const Json &
+Json::at(const std::string &key) const
+{
+    DIR2B_ASSERT(kind_ == Kind::Object, "Json::at(key) on non-object");
+    for (const auto &m : object_)
+        if (m.first == key)
+            return m.second;
+    DIR2B_PANIC("Json: no member '", key, "'");
+}
+
+const Json &
+Json::at(std::size_t i) const
+{
+    DIR2B_ASSERT(kind_ == Kind::Array, "Json::at(index) on non-array");
+    DIR2B_ASSERT(i < array_.size(), "Json: index ", i, " out of range");
+    return array_[i];
+}
+
+bool
+Json::asBool() const
+{
+    DIR2B_ASSERT(kind_ == Kind::Bool, "Json::asBool on non-bool");
+    return bool_;
+}
+
+std::int64_t
+Json::asInt() const
+{
+    switch (kind_) {
+      case Kind::Int: return int_;
+      case Kind::Uint: return static_cast<std::int64_t>(uint_);
+      case Kind::Double: return static_cast<std::int64_t>(double_);
+      default: DIR2B_PANIC("Json::asInt on non-number");
+    }
+}
+
+std::uint64_t
+Json::asUint() const
+{
+    switch (kind_) {
+      case Kind::Uint: return uint_;
+      case Kind::Int:
+        DIR2B_ASSERT(int_ >= 0, "Json::asUint on negative value");
+        return static_cast<std::uint64_t>(int_);
+      case Kind::Double: return static_cast<std::uint64_t>(double_);
+      default: DIR2B_PANIC("Json::asUint on non-number");
+    }
+}
+
+double
+Json::asDouble() const
+{
+    switch (kind_) {
+      case Kind::Double: return double_;
+      case Kind::Int: return static_cast<double>(int_);
+      case Kind::Uint: return static_cast<double>(uint_);
+      default: DIR2B_PANIC("Json::asDouble on non-number");
+    }
+}
+
+const std::string &
+Json::asString() const
+{
+    DIR2B_ASSERT(kind_ == Kind::String, "Json::asString on non-string");
+    return str_;
+}
+
+bool
+Json::operator==(const Json &o) const
+{
+    if (isNumber() && o.isNumber()) {
+        // Integer kinds compare exactly when both are integral.
+        if (kind_ != Kind::Double && o.kind_ != Kind::Double) {
+            const bool negA = kind_ == Kind::Int && int_ < 0;
+            const bool negB = o.kind_ == Kind::Int && o.int_ < 0;
+            if (negA != negB)
+                return false;
+            return negA ? int_ == o.int_ : asUint() == o.asUint();
+        }
+        return asDouble() == o.asDouble();
+    }
+    if (kind_ != o.kind_)
+        return false;
+    switch (kind_) {
+      case Kind::Null: return true;
+      case Kind::Bool: return bool_ == o.bool_;
+      case Kind::String: return str_ == o.str_;
+      case Kind::Array: return array_ == o.array_;
+      case Kind::Object: return object_ == o.object_;
+      default: return true; // numbers handled above
+    }
+}
+
+std::string
+Json::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+void
+writeDouble(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        // JSON has no inf/nan; null keeps the artifact parseable.
+        os << "null";
+        return;
+    }
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    std::string text(buf, res.ptr);
+    // Keep numbers recognisably floating point for consumers that
+    // distinguish 1 from 1.0.
+    if (text.find('.') == std::string::npos &&
+        text.find('e') == std::string::npos &&
+        text.find("inf") == std::string::npos)
+        text += ".0";
+    os << text;
+}
+
+} // namespace
+
+void
+Json::writeIndented(std::ostream &os, int indent, int depth) const
+{
+    const std::string pad(static_cast<std::size_t>(indent) *
+                              (static_cast<std::size_t>(depth) + 1),
+                          ' ');
+    const std::string closePad(
+        static_cast<std::size_t>(indent) *
+            static_cast<std::size_t>(depth),
+        ' ');
+    const char *nl = indent > 0 ? "\n" : "";
+    const char *colon = indent > 0 ? ": " : ":";
+
+    switch (kind_) {
+      case Kind::Null: os << "null"; break;
+      case Kind::Bool: os << (bool_ ? "true" : "false"); break;
+      case Kind::Int: os << int_; break;
+      case Kind::Uint: os << uint_; break;
+      case Kind::Double: writeDouble(os, double_); break;
+      case Kind::String: os << '"' << escape(str_) << '"'; break;
+      case Kind::Array:
+        if (array_.empty()) {
+            os << "[]";
+            break;
+        }
+        os << '[' << nl;
+        for (std::size_t i = 0; i < array_.size(); ++i) {
+            if (indent > 0)
+                os << pad;
+            array_[i].writeIndented(os, indent, depth + 1);
+            if (i + 1 < array_.size())
+                os << ',';
+            os << nl;
+        }
+        if (indent > 0)
+            os << closePad;
+        os << ']';
+        break;
+      case Kind::Object:
+        if (object_.empty()) {
+            os << "{}";
+            break;
+        }
+        os << '{' << nl;
+        for (std::size_t i = 0; i < object_.size(); ++i) {
+            if (indent > 0)
+                os << pad;
+            os << '"' << escape(object_[i].first) << '"' << colon;
+            object_[i].second.writeIndented(os, indent, depth + 1);
+            if (i + 1 < object_.size())
+                os << ',';
+            os << nl;
+        }
+        if (indent > 0)
+            os << closePad;
+        os << '}';
+        break;
+    }
+}
+
+void
+Json::write(std::ostream &os, int indent) const
+{
+    writeIndented(os, indent, 0);
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::ostringstream os;
+    write(os, indent);
+    return os.str();
+}
+
+namespace
+{
+
+/** Recursive-descent parser over the whole document. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Json
+    document()
+    {
+        skipWs();
+        Json v = value();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing content after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw std::runtime_error("json parse error at offset " +
+                                 std::to_string(pos_) + ": " + why);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consume(const char *lit)
+    {
+        std::size_t n = 0;
+        while (lit[n])
+            ++n;
+        if (text_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    Json
+    value()
+    {
+        switch (peek()) {
+          case '{': return objectValue();
+          case '[': return arrayValue();
+          case '"': return Json(stringValue());
+          case 't':
+            if (consume("true"))
+                return Json(true);
+            fail("bad literal");
+          case 'f':
+            if (consume("false"))
+                return Json(false);
+            fail("bad literal");
+          case 'n':
+            if (consume("null"))
+                return Json();
+            fail("bad literal");
+          default: return numberValue();
+        }
+    }
+
+    Json
+    objectValue()
+    {
+        expect('{');
+        Json obj = Json::object();
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return obj;
+        }
+        for (;;) {
+            skipWs();
+            const std::string key = stringValue();
+            skipWs();
+            expect(':');
+            skipWs();
+            obj.set(key, value());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return obj;
+        }
+    }
+
+    Json
+    arrayValue()
+    {
+        expect('[');
+        Json arr = Json::array();
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return arr;
+        }
+        for (;;) {
+            skipWs();
+            arr.push(value());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return arr;
+        }
+    }
+
+    std::string
+    stringValue()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("short \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape");
+                }
+                // Encode as UTF-8 (basic plane; surrogate pairs are
+                // not produced by our writer).
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xc0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (cp >> 12));
+                    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                }
+                break;
+              }
+              default: fail("unknown escape");
+            }
+        }
+    }
+
+    Json
+    numberValue()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        bool isDouble = false;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c >= '0' && c <= '9') {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                isDouble = true;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == start)
+            fail("expected a value");
+        const std::string tok = text_.substr(start, pos_ - start);
+        if (!isDouble) {
+            if (tok[0] == '-') {
+                std::int64_t v = 0;
+                const auto res = std::from_chars(
+                    tok.data(), tok.data() + tok.size(), v);
+                if (res.ec == std::errc())
+                    return Json(static_cast<long long>(v));
+            } else {
+                std::uint64_t v = 0;
+                const auto res = std::from_chars(
+                    tok.data(), tok.data() + tok.size(), v);
+                if (res.ec == std::errc())
+                    return Json(static_cast<unsigned long long>(v));
+            }
+        }
+        double d = 0.0;
+        const auto res =
+            std::from_chars(tok.data(), tok.data() + tok.size(), d);
+        if (res.ec != std::errc() || res.ptr != tok.data() + tok.size())
+            fail("malformed number '" + tok + "'");
+        return Json(d);
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text)
+{
+    return Parser(text).document();
+}
+
+} // namespace dir2b

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Minimal JSON document model: build, serialize, parse.
+ *
+ * The report layer (src/report/report.hh) serializes sweep results to
+ * machine-readable artifacts, and the smoke tooling parses them back
+ * to validate structure — both on top of this one small value type.
+ * No external dependency; the dialect is plain RFC 8259 with two
+ * deliberate choices for reproducibility:
+ *
+ *  - object members keep insertion order (serialization is therefore
+ *    deterministic: the same build sequence gives byte-identical
+ *    text, which is what lets `--threads 1` and `--threads 16`
+ *    artifacts be diffed directly);
+ *  - doubles are written with the shortest round-trip representation
+ *    (std::to_chars), integers as integers.
+ */
+
+#ifndef DIR2B_REPORT_JSON_HH
+#define DIR2B_REPORT_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dir2b
+{
+
+/** One JSON value: null, bool, number, string, array or object. */
+class Json
+{
+  public:
+    enum class Kind { Null, Bool, Int, Uint, Double, String, Array,
+                      Object };
+
+    Json() = default;
+    Json(bool b) : kind_(Kind::Bool), bool_(b) {}
+    Json(int v) : kind_(Kind::Int), int_(v) {}
+    Json(long v) : kind_(Kind::Int), int_(v) {}
+    Json(long long v) : kind_(Kind::Int), int_(v) {}
+    Json(unsigned v) : kind_(Kind::Uint), uint_(v) {}
+    Json(unsigned long v) : kind_(Kind::Uint), uint_(v) {}
+    Json(unsigned long long v) : kind_(Kind::Uint), uint_(v) {}
+    Json(double v) : kind_(Kind::Double), double_(v) {}
+    Json(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+    Json(const char *s) : kind_(Kind::String), str_(s) {}
+
+    static Json object() { Json j; j.kind_ = Kind::Object; return j; }
+    static Json array() { Json j; j.kind_ = Kind::Array; return j; }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool
+    isNumber() const
+    {
+        return kind_ == Kind::Int || kind_ == Kind::Uint ||
+               kind_ == Kind::Double;
+    }
+
+    /** Append/replace a member (object only). */
+    Json &set(const std::string &key, Json v);
+    /** Append an element (array only). */
+    Json &push(Json v);
+
+    /** Elements of an array / members of an object. */
+    std::size_t size() const;
+    bool contains(const std::string &key) const;
+    /** Member access; panics if absent or not an object/array. */
+    const Json &at(const std::string &key) const;
+    const Json &at(std::size_t i) const;
+    const std::vector<std::pair<std::string, Json>> &members() const
+    {
+        return object_;
+    }
+    const std::vector<Json> &elements() const { return array_; }
+
+    bool asBool() const;
+    std::int64_t asInt() const;
+    std::uint64_t asUint() const;
+    double asDouble() const;
+    const std::string &asString() const;
+
+    /** Structural equality (numeric kinds compare by value). */
+    bool operator==(const Json &o) const;
+    bool operator!=(const Json &o) const { return !(*this == o); }
+
+    /** Serialize; indent = 0 gives compact one-line output. */
+    void write(std::ostream &os, int indent = 2) const;
+    std::string dump(int indent = 2) const;
+
+    /** Parse a complete document; throws std::runtime_error with a
+     *  position on malformed input. */
+    static Json parse(const std::string &text);
+
+    /** Escape a string body per RFC 8259 (no surrounding quotes). */
+    static std::string escape(const std::string &s);
+
+  private:
+    void writeIndented(std::ostream &os, int indent, int depth) const;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    std::uint64_t uint_ = 0;
+    double double_ = 0.0;
+    std::string str_;
+    std::vector<Json> array_;
+    std::vector<std::pair<std::string, Json>> object_;
+};
+
+} // namespace dir2b
+
+#endif // DIR2B_REPORT_JSON_HH

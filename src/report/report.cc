@@ -1,0 +1,208 @@
+#include "report/report.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace dir2b
+{
+
+Json
+countsToJson(const AccessCounts &c)
+{
+    Json j = Json::object();
+    AccessCounts::forEachField(
+        c, [&j](const char *name, std::uint64_t v) {
+            j.set(name, Json(static_cast<unsigned long long>(v)));
+        });
+    j.set("missRatio", c.missRatio());
+    j.set("uselessPerRef", c.uselessPerRef());
+    return j;
+}
+
+Json
+runResultToJson(const RunResult &r)
+{
+    Json j = Json::object();
+    j.set("counts", countsToJson(r.counts));
+    j.set("perCacheUselessPerRef", r.perCacheUselessPerRef);
+
+    Json measured = Json::object();
+    measured.set("sharedRefs",
+                 static_cast<unsigned long long>(r.sharedRefs));
+    measured.set("sharedWrites",
+                 static_cast<unsigned long long>(r.sharedWrites));
+    measured.set("sharedHits",
+                 static_cast<unsigned long long>(r.sharedHits));
+    measured.set("q", r.measuredQ(r.counts.refs()));
+    measured.set("w", r.measuredW());
+    measured.set("h", r.measuredH());
+    j.set("measured", measured);
+
+    if (r.stateSamples) {
+        Json occ = Json::object();
+        static const char *const names[4] = {"absent", "present1",
+                                             "presentStar", "presentM"};
+        for (int s = 0; s < 4; ++s)
+            occ.set(names[s], r.stateOccupancy[static_cast<size_t>(s)]);
+        occ.set("samples",
+                static_cast<unsigned long long>(r.stateSamples));
+        j.set("stateOccupancy", occ);
+    }
+    return j;
+}
+
+namespace
+{
+
+/** StatVisitor rendering each entry as one JSON object. */
+class JsonStatVisitor : public StatVisitor
+{
+  public:
+    Json out = Json::array();
+
+    void
+    onCounter(const std::string &name, const std::string &desc,
+              const Counter &c) override
+    {
+        Json e = base("counter", name, desc);
+        e.set("value", static_cast<unsigned long long>(c.value()));
+        out.push(std::move(e));
+    }
+
+    void
+    onMean(const std::string &name, const std::string &desc,
+           const Mean &m) override
+    {
+        Json e = base("mean", name, desc);
+        e.set("mean", m.mean());
+        e.set("sum", m.sum());
+        e.set("samples", static_cast<unsigned long long>(m.samples()));
+        out.push(std::move(e));
+    }
+
+    void
+    onHistogram(const std::string &name, const std::string &desc,
+                const Histogram &h) override
+    {
+        Json e = base("histogram", name, desc);
+        e.set("samples", static_cast<unsigned long long>(h.samples()));
+        e.set("mean", h.mean());
+        e.set("min", static_cast<unsigned long long>(h.min()));
+        e.set("max", static_cast<unsigned long long>(h.max()));
+        e.set("bucketWidth",
+              static_cast<unsigned long long>(h.bucketWidth()));
+        Json buckets = Json::array();
+        for (std::size_t i = 0; i < h.numBuckets(); ++i)
+            buckets.push(static_cast<unsigned long long>(h.bucket(i)));
+        e.set("buckets", std::move(buckets));
+        out.push(std::move(e));
+    }
+
+    void
+    onDerived(const std::string &name, const std::string &desc,
+              double value) override
+    {
+        Json e = base("derived", name, desc);
+        e.set("value", value);
+        out.push(std::move(e));
+    }
+
+  private:
+    static Json
+    base(const char *kind, const std::string &name,
+         const std::string &desc)
+    {
+        Json e = Json::object();
+        e.set("kind", kind);
+        e.set("name", name);
+        if (!desc.empty())
+            e.set("desc", desc);
+        return e;
+    }
+};
+
+} // namespace
+
+Json
+statGroupToJson(const StatGroup &g)
+{
+    JsonStatVisitor v;
+    g.visit(v);
+    Json j = Json::object();
+    j.set("group", g.name());
+    j.set("stats", std::move(v.out));
+    return j;
+}
+
+Json
+makeSweepArtifact(const std::string &bench, Json params, Json cells,
+                  Json summary)
+{
+    DIR2B_ASSERT(cells.isArray(), "artifact cells must be an array");
+    Json j = Json::object();
+    j.set("schema", reportSchemaName);
+    j.set("schema_version", reportSchemaVersion);
+    j.set("bench", bench);
+    if (!params.isNull())
+        j.set("params", std::move(params));
+    j.set("cells", std::move(cells));
+    if (!summary.isNull())
+        j.set("summary", std::move(summary));
+    return j;
+}
+
+void
+stampMeta(Json &artifact, unsigned threads, double wallMs, bool quick)
+{
+    Json meta = Json::object();
+    meta.set("threads", threads);
+    meta.set("wall_ms", wallMs);
+    meta.set("quick", quick);
+    artifact.set("meta", std::move(meta));
+}
+
+void
+writeArtifact(const std::string &path, const Json &artifact)
+{
+    std::ofstream out(path);
+    if (!out)
+        DIR2B_FATAL("cannot open '", path, "' for writing");
+    artifact.write(out, 2);
+    out << "\n";
+    if (!out)
+        DIR2B_FATAL("write to '", path, "' failed");
+}
+
+Json
+readArtifact(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        DIR2B_FATAL("cannot open '", path, "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    try {
+        return Json::parse(buf.str());
+    } catch (const std::exception &e) {
+        DIR2B_FATAL("'", path, "': ", e.what());
+    }
+}
+
+bool
+sameArtifactPayload(const Json &a, const Json &b)
+{
+    if (!a.isObject() || !b.isObject())
+        return a == b;
+    auto strip = [](const Json &j) {
+        Json out = Json::object();
+        for (const auto &m : j.members())
+            if (m.first != "meta")
+                out.set(m.first, m.second);
+        return out;
+    };
+    return strip(a) == strip(b);
+}
+
+} // namespace dir2b

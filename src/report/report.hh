@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Structured metrics export: the BENCH_*.json artifact schema.
+ *
+ * Every table bench (and dir2bsim) can serialize its sweep to a JSON
+ * artifact so results are diffable across commits and machines.  The
+ * layout (schema version 1, see docs/METRICS.md for field meanings):
+ *
+ *   {
+ *     "schema": "dir2b.sweep",
+ *     "schema_version": 1,
+ *     "bench": "<binary name>",
+ *     "params": { ...grid-wide configuration... },
+ *     "cells":  [ { "section": ..., <axes>, <results> }, ... ],
+ *     "summary": { ...cross-cell aggregates... },
+ *     "meta":   { "threads": N, "wall_ms": T, "quick": B }
+ *   }
+ *
+ * Everything outside "meta" is a pure function of the configuration —
+ * a sweep at --threads 1 and --threads 16 emits byte-identical text
+ * once "meta" is excluded (sameArtifactPayload() implements exactly
+ * that comparison).  Cells appear in grid order, never in completion
+ * order.
+ */
+
+#ifndef DIR2B_REPORT_REPORT_HH
+#define DIR2B_REPORT_REPORT_HH
+
+#include <string>
+
+#include "proto/counts.hh"
+#include "report/json.hh"
+#include "sim/stats.hh"
+#include "system/func_system.hh"
+
+namespace dir2b
+{
+
+/** Version of the artifact layout; bump on any incompatible change
+ *  and record the change in docs/METRICS.md. */
+constexpr int reportSchemaVersion = 1;
+
+/** The "schema" discriminator string. */
+constexpr const char *reportSchemaName = "dir2b.sweep";
+
+/** Every AccessCounts field (raw counters) plus the derived ratios. */
+Json countsToJson(const AccessCounts &c);
+
+/** A full functional-tier run: counts + measured model parameters +
+ *  state occupancies. */
+Json runResultToJson(const RunResult &r);
+
+/** A StatGroup: every entry with its kind, value(s) and description. */
+Json statGroupToJson(const StatGroup &g);
+
+/**
+ * Assemble a schema-stamped artifact.  `params` and `summary` may be
+ * null Json() when a bench has nothing grid-wide to record; `cells`
+ * must be an array.
+ */
+Json makeSweepArtifact(const std::string &bench, Json params,
+                       Json cells, Json summary = Json());
+
+/** Attach the volatile (non-deterministic) block.  Only fields in
+ *  here may differ between runs of the same configuration. */
+void stampMeta(Json &artifact, unsigned threads, double wallMs,
+               bool quick);
+
+/** Serialize to `path`; DIR2B_FATAL on I/O failure. */
+void writeArtifact(const std::string &path, const Json &artifact);
+
+/** Parse an artifact file; DIR2B_FATAL on I/O or parse failure. */
+Json readArtifact(const std::string &path);
+
+/** Deterministic-payload equality: compare everything except "meta". */
+bool sameArtifactPayload(const Json &a, const Json &b);
+
+} // namespace dir2b
+
+#endif // DIR2B_REPORT_REPORT_HH

@@ -134,4 +134,27 @@ StatGroup::dump(std::ostream &os) const
     }
 }
 
+void
+StatGroup::visit(StatVisitor &v) const
+{
+    for (const auto &e : entries_) {
+        switch (e.kind) {
+          case Kind::Count:
+            v.onCounter(e.name, e.desc,
+                        *static_cast<const Counter *>(e.ptr));
+            break;
+          case Kind::Avg:
+            v.onMean(e.name, e.desc, *static_cast<const Mean *>(e.ptr));
+            break;
+          case Kind::Hist:
+            v.onHistogram(e.name, e.desc,
+                          *static_cast<const Histogram *>(e.ptr));
+            break;
+          case Kind::Derived:
+            v.onDerived(e.name, e.desc, e.fn(e.ptr));
+            break;
+        }
+    }
+}
+
 } // namespace dir2b

@@ -93,6 +93,26 @@ class Histogram
     std::uint64_t max_ = 0;
 };
 
+/**
+ * Read-only visitor over a StatGroup's entries, in registration
+ * order.  The report layer serializes groups through this interface;
+ * derived statistics arrive pre-evaluated.
+ */
+class StatVisitor
+{
+  public:
+    virtual ~StatVisitor() = default;
+    virtual void onCounter(const std::string &name,
+                           const std::string &desc, const Counter &c) = 0;
+    virtual void onMean(const std::string &name, const std::string &desc,
+                        const Mean &m) = 0;
+    virtual void onHistogram(const std::string &name,
+                             const std::string &desc,
+                             const Histogram &h) = 0;
+    virtual void onDerived(const std::string &name,
+                           const std::string &desc, double value) = 0;
+};
+
 /** A named collection of statistics that can render itself. */
 class StatGroup
 {
@@ -113,6 +133,9 @@ class StatGroup
 
     /** Write "group.stat value # desc" lines. */
     void dump(std::ostream &os) const;
+
+    /** Visit every entry in registration order. */
+    void visit(StatVisitor &v) const;
 
   private:
     enum class Kind { Count, Avg, Hist, Derived };

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Unit tests for the metrics-export layer: JSON escaping and
+ * round-tripping, artifact schema stamping, counts/stat-group
+ * serialization, and the payload comparison that ignores volatile
+ * metadata.
+ */
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "report/report.hh"
+
+namespace dir2b
+{
+namespace
+{
+
+TEST(Json, EscapesControlAndQuoteCharacters)
+{
+    const std::string nasty =
+        "tab\there \"quoted\" back\\slash\nnewline \x01 bell\x07";
+    const Json j(nasty);
+    const std::string text = j.dump(0);
+    EXPECT_EQ(text.find('\n'), std::string::npos);
+    EXPECT_NE(text.find("\\t"), std::string::npos);
+    EXPECT_NE(text.find("\\\""), std::string::npos);
+    EXPECT_NE(text.find("\\\\"), std::string::npos);
+    EXPECT_NE(text.find("\\u0001"), std::string::npos);
+    EXPECT_NE(text.find("\\u0007"), std::string::npos);
+    // Round trip restores the original bytes.
+    EXPECT_EQ(Json::parse(text).asString(), nasty);
+}
+
+TEST(Json, NumbersRoundTrip)
+{
+    Json obj = Json::object();
+    obj.set("u", 18446744073709551615ULL); // max uint64
+    obj.set("i", -42);
+    obj.set("d", 0.1);
+    obj.set("tiny", 1e-300);
+    obj.set("whole", 3.0);
+    const Json back = Json::parse(obj.dump(2));
+    EXPECT_EQ(back.at("u").asUint(), 18446744073709551615ULL);
+    EXPECT_EQ(back.at("i").asInt(), -42);
+    EXPECT_EQ(back.at("d").asDouble(), 0.1);
+    EXPECT_EQ(back.at("tiny").asDouble(), 1e-300);
+    EXPECT_EQ(back.at("whole").asDouble(), 3.0);
+    EXPECT_TRUE(obj == back);
+}
+
+TEST(Json, StructuresRoundTripAndCompare)
+{
+    Json arr = Json::array();
+    arr.push(1).push("two").push(Json()).push(true);
+    Json obj = Json::object();
+    obj.set("list", arr);
+    obj.set("nested", Json::object().set("k", "v"));
+    const Json back = Json::parse(obj.dump(2));
+    EXPECT_TRUE(obj == back);
+    EXPECT_EQ(back.at("list").size(), 4u);
+    EXPECT_TRUE(back.at("list").at(2).isNull());
+    EXPECT_EQ(back.at("nested").at("k").asString(), "v");
+    // Compact form parses identically.
+    EXPECT_TRUE(Json::parse(obj.dump(0)) == obj);
+}
+
+TEST(Json, ParseErrorsThrow)
+{
+    EXPECT_THROW(Json::parse("{"), std::runtime_error);
+    EXPECT_THROW(Json::parse("[1,]2"), std::runtime_error);
+    EXPECT_THROW(Json::parse("{\"a\": nul}"), std::runtime_error);
+    EXPECT_THROW(Json::parse("\"unterminated"), std::runtime_error);
+    EXPECT_THROW(Json::parse("12 34"), std::runtime_error);
+}
+
+TEST(Report, CountsRoundTripThroughJson)
+{
+    AccessCounts c;
+    c.reads = 900;
+    c.writes = 100;
+    c.readHits = 800;
+    c.readMisses = 100;
+    c.writeHits = 90;
+    c.writeMisses = 10;
+    c.broadcasts = 17;
+    c.broadcastCmds = 17 * 15;
+    c.uselessCmds = 123;
+    c.invalidations = 7;
+    c.writebacks = 3;
+    c.netMessages = 4242;
+
+    const Json j = countsToJson(c);
+    const Json back = Json::parse(j.dump(2));
+    // Every field forEachField visits survives the round trip.
+    AccessCounts::forEachField(
+        c, [&back](const char *name, std::uint64_t v) {
+            ASSERT_TRUE(back.contains(name)) << name;
+            EXPECT_EQ(back.at(name).asUint(), v) << name;
+        });
+    EXPECT_DOUBLE_EQ(back.at("missRatio").asDouble(), c.missRatio());
+    EXPECT_DOUBLE_EQ(back.at("uselessPerRef").asDouble(),
+                     c.uselessPerRef());
+}
+
+TEST(Report, StatGroupRoundTripThroughJson)
+{
+    Counter evictions;
+    evictions.inc(12);
+    Mean latency;
+    latency.sample(4.0);
+    latency.sample(8.0);
+    Histogram depth(2, 4);
+    depth.sample(1);
+    depth.sample(3);
+    depth.sample(100); // overflow bucket
+
+    StatGroup g("cache0");
+    g.addCounter("evictions", &evictions, "lines replaced");
+    g.addMean("latency", &latency, "cycles per access");
+    g.addHistogram("queueDepth", &depth);
+
+    const Json back = Json::parse(statGroupToJson(g).dump(2));
+    EXPECT_EQ(back.at("group").asString(), "cache0");
+    const Json &stats = back.at("stats");
+    ASSERT_EQ(stats.size(), 3u);
+
+    const Json &ctr = stats.at(0);
+    EXPECT_EQ(ctr.at("kind").asString(), "counter");
+    EXPECT_EQ(ctr.at("name").asString(), "evictions");
+    EXPECT_EQ(ctr.at("desc").asString(), "lines replaced");
+    EXPECT_EQ(ctr.at("value").asUint(), 12u);
+
+    const Json &mean = stats.at(1);
+    EXPECT_EQ(mean.at("kind").asString(), "mean");
+    EXPECT_DOUBLE_EQ(mean.at("mean").asDouble(), 6.0);
+    EXPECT_EQ(mean.at("samples").asUint(), 2u);
+
+    const Json &hist = stats.at(2);
+    EXPECT_EQ(hist.at("kind").asString(), "histogram");
+    EXPECT_EQ(hist.at("samples").asUint(), 3u);
+    EXPECT_EQ(hist.at("min").asUint(), 1u);
+    EXPECT_EQ(hist.at("max").asUint(), 100u);
+    EXPECT_EQ(hist.at("bucketWidth").asUint(), 2u);
+    // 4 regular buckets + overflow.
+    ASSERT_EQ(hist.at("buckets").size(), 5u);
+    EXPECT_EQ(hist.at("buckets").at(0).asUint(), 1u); // value 1
+    EXPECT_EQ(hist.at("buckets").at(1).asUint(), 1u); // value 3
+    EXPECT_EQ(hist.at("buckets").at(4).asUint(), 1u); // overflow
+}
+
+TEST(Report, ArtifactCarriesSchemaAndMeta)
+{
+    Json cells = Json::array();
+    cells.push(Json::object().set("section", "s").set("x", 1));
+    Json a = makeSweepArtifact("bench_x",
+                               Json::object().set("n", 8),
+                               std::move(cells));
+    EXPECT_EQ(a.at("schema").asString(), reportSchemaName);
+    EXPECT_EQ(a.at("schema_version").asInt(), reportSchemaVersion);
+    EXPECT_EQ(a.at("bench").asString(), "bench_x");
+    EXPECT_EQ(a.at("cells").size(), 1u);
+    EXPECT_FALSE(a.contains("meta"));
+
+    stampMeta(a, 4, 12.5, true);
+    ASSERT_TRUE(a.contains("meta"));
+    EXPECT_EQ(a.at("meta").at("threads").asUint(), 4u);
+    EXPECT_TRUE(a.at("meta").at("quick").asBool());
+}
+
+TEST(Report, PayloadComparisonIgnoresMeta)
+{
+    auto build = [](unsigned threads, double wall) {
+        Json cells = Json::array();
+        cells.push(Json::object().set("section", "s").set("v", 7));
+        Json a = makeSweepArtifact("bench_y", Json(),
+                                   std::move(cells));
+        stampMeta(a, threads, wall, false);
+        return a;
+    };
+    const Json a = build(1, 100.0);
+    const Json b = build(16, 3.5);
+    EXPECT_FALSE(a == b); // meta differs...
+    EXPECT_TRUE(sameArtifactPayload(a, b)); // ...payload doesn't.
+
+    Json c = build(1, 100.0);
+    c.set("bench", "bench_z");
+    EXPECT_FALSE(sameArtifactPayload(a, c));
+}
+
+TEST(Report, WriteAndReadArtifactFile)
+{
+    const std::string path =
+        testing::TempDir() + "dir2b_report_roundtrip.json";
+    Json cells = Json::array();
+    cells.push(Json::object()
+                   .set("section", "s")
+                   .set("text", "line\none \"two\"")
+                   .set("value", 0.25));
+    Json a = makeSweepArtifact("bench_io", Json(), std::move(cells));
+    stampMeta(a, 2, 1.0, false);
+    writeArtifact(path, a);
+    const Json back = readArtifact(path);
+    EXPECT_TRUE(back == a);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace dir2b

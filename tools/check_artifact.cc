@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Sweep-artifact validator for CI and smoke tests.
+ *
+ *   check_artifact FILE [--cells N] [--bench NAME] [--compare OTHER]
+ *
+ * Checks that FILE parses as JSON and carries the dir2b.sweep schema
+ * (schema discriminator, supported schema_version, bench name, cells
+ * array whose every element is an object with a "section" string, and
+ * a meta block).  With --cells the cell count must equal N; with
+ * --bench the "bench" field must equal NAME; with --compare the two
+ * artifacts must have equal payloads once the volatile "meta" block is
+ * excluded — the determinism contract between --threads 1 and
+ * --threads N runs.  Exits 0 on success, 1 with a diagnostic on any
+ * violation.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "report/report.hh"
+
+namespace
+{
+
+using dir2b::Json;
+
+[[noreturn]] void
+fail(const std::string &msg)
+{
+    std::fprintf(stderr, "check_artifact: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s FILE [--cells N] [--bench NAME] [--compare OTHER]\n"
+        "\n"
+        "Validate a dir2b.sweep JSON artifact (see docs/METRICS.md).\n"
+        "  --cells N       require exactly N cells\n"
+        "  --bench NAME    require the bench field to equal NAME\n"
+        "  --compare OTHER require payload equality with artifact\n"
+        "                  OTHER, ignoring the volatile meta block\n",
+        argv0);
+}
+
+/** Schema checks shared by the primary and --compare artifacts. */
+void
+validate(const Json &a, const std::string &path)
+{
+    if (!a.isObject())
+        fail(path + ": top level is not an object");
+    for (const char *key : {"schema", "schema_version", "bench",
+                            "cells", "meta"})
+        if (!a.contains(key))
+            fail(path + ": missing required field '" + key + "'");
+    if (a.at("schema").asString() != dir2b::reportSchemaName)
+        fail(path + ": schema is '" + a.at("schema").asString() +
+             "', expected '" + dir2b::reportSchemaName + "'");
+    const auto version = a.at("schema_version").asInt();
+    if (version < 1 || version > dir2b::reportSchemaVersion)
+        fail(path + ": unsupported schema_version " +
+             std::to_string(version));
+    if (!a.at("cells").isArray())
+        fail(path + ": 'cells' is not an array");
+    std::size_t idx = 0;
+    for (const Json &cell : a.at("cells").elements()) {
+        if (!cell.isObject() || !cell.contains("section") ||
+            !cell.at("section").isString())
+            fail(path + ": cell " + std::to_string(idx) +
+                 " lacks a 'section' string");
+        ++idx;
+    }
+    const Json &meta = a.at("meta");
+    if (!meta.isObject() || !meta.contains("threads") ||
+        !meta.contains("wall_ms"))
+        fail(path + ": malformed 'meta' block");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    std::string benchName;
+    std::string comparePath;
+    long long wantCells = -1;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc)
+                fail(std::string(flag) + " requires an argument");
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (arg == "--cells") {
+            wantCells = std::atoll(value("--cells").c_str());
+        } else if (arg == "--bench") {
+            benchName = value("--bench");
+        } else if (arg == "--compare") {
+            comparePath = value("--compare");
+        } else if (!arg.empty() && arg[0] == '-') {
+            fail("unknown option '" + arg + "' (see --help)");
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            fail("unexpected extra argument '" + arg + "'");
+        }
+    }
+    if (path.empty())
+        fail("no artifact file given (see --help)");
+
+    const Json a = dir2b::readArtifact(path);
+    validate(a, path);
+
+    const std::size_t cells = a.at("cells").size();
+    if (wantCells >= 0 &&
+        cells != static_cast<std::size_t>(wantCells))
+        fail(path + ": expected " + std::to_string(wantCells) +
+             " cells, found " + std::to_string(cells));
+    if (!benchName.empty() && a.at("bench").asString() != benchName)
+        fail(path + ": bench is '" + a.at("bench").asString() +
+             "', expected '" + benchName + "'");
+
+    if (!comparePath.empty()) {
+        const Json b = dir2b::readArtifact(comparePath);
+        validate(b, comparePath);
+        if (!dir2b::sameArtifactPayload(a, b))
+            fail(path + " and " + comparePath +
+                 " differ outside the meta block");
+    }
+
+    std::printf("check_artifact: %s ok (%zu cells, bench %s)\n",
+                path.c_str(), cells, a.at("bench").asString().c_str());
+    return 0;
+}
