@@ -1,0 +1,113 @@
+#include "check/check_report.hh"
+
+#include "util/logging.hh"
+
+namespace dir2b
+{
+
+Json
+exploreCellToJson(const ExplorerConfig &cfg, const ExploreResult &res)
+{
+    Json c = Json::object();
+    c.set("section", "explore");
+    c.set("protocol", cfg.protocol);
+    c.set("procs", static_cast<unsigned long long>(cfg.numProcs));
+    c.set("blocks", static_cast<unsigned long long>(cfg.numBlocks));
+    c.set("sets", static_cast<unsigned long long>(cfg.sets));
+    c.set("ways", static_cast<unsigned long long>(cfg.ways));
+    c.set("states", static_cast<unsigned long long>(res.statesVisited));
+    c.set("transitions",
+          static_cast<unsigned long long>(res.transitionsChecked));
+    c.set("depth", res.depthReached);
+    c.set("closed", res.closed);
+    c.set("violations",
+          static_cast<unsigned long long>(res.violations.size()));
+    if (!res.violations.empty()) {
+        const Violation &v = res.violations.front();
+        Json first = Json::object();
+        first.set("kind", v.kind);
+        first.set("detail", v.detail);
+        Json trail = Json::array();
+        for (const CheckAction &a : res.trail)
+            trail.push(toString(a));
+        first.set("trail", std::move(trail));
+        c.set("first_violation", std::move(first));
+    }
+    return c;
+}
+
+Json
+fuzzCellToJson(const FuzzConfig &cfg, const FuzzResult &res)
+{
+    Json c = Json::object();
+    c.set("section", "fuzz");
+    c.set("procs",
+          static_cast<unsigned long long>(cfg.diff.numProcs));
+    c.set("base_seed",
+          static_cast<unsigned long long>(cfg.baseSeed));
+    c.set("seeds", static_cast<unsigned long long>(res.seedsRun));
+    c.set("refs_per_seed",
+          static_cast<unsigned long long>(cfg.refsPerSeed));
+    c.set("refs_replayed",
+          static_cast<unsigned long long>(res.refsReplayed));
+    c.set("with_timed", cfg.diff.withTimed);
+    c.set("failures",
+          static_cast<unsigned long long>(res.failures.size()));
+    if (!res.failures.empty()) {
+        const FuzzFailure &f = res.failures.front();
+        Json first = Json::object();
+        first.set("seed_index",
+                  static_cast<unsigned long long>(f.seedIndex));
+        first.set("protocol", f.failure.protocol);
+        first.set("kind", f.failure.kind);
+        first.set("step",
+                  static_cast<unsigned long long>(f.failure.step));
+        first.set("detail", f.failure.detail);
+        c.set("first_failure", std::move(first));
+    }
+    return c;
+}
+
+Json
+makeEngineArtifact(const std::string &tool,
+                   const std::vector<ExplorerConfig> &grid,
+                   const std::vector<ExploreResult> &explored,
+                   const FuzzConfig *fuzzCfg, const FuzzResult *fuzzed)
+{
+    DIR2B_ASSERT(grid.size() == explored.size(),
+                 "explorer grid/result size mismatch");
+
+    Json cells = Json::array();
+    std::uint64_t states = 0;
+    std::uint64_t transitions = 0;
+    std::uint64_t violations = 0;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        states += explored[i].statesVisited;
+        transitions += explored[i].transitionsChecked;
+        violations += explored[i].violations.size();
+        cells.push(exploreCellToJson(grid[i], explored[i]));
+    }
+
+    std::uint64_t fuzzFailures = 0;
+    if (fuzzCfg && fuzzed) {
+        fuzzFailures = fuzzed->failures.size();
+        cells.push(fuzzCellToJson(*fuzzCfg, *fuzzed));
+    }
+
+    Json summary = Json::object();
+    summary.set("explore_cells",
+                static_cast<unsigned long long>(grid.size()));
+    summary.set("states", static_cast<unsigned long long>(states));
+    summary.set("transitions",
+                static_cast<unsigned long long>(transitions));
+    summary.set("explore_violations",
+                static_cast<unsigned long long>(violations));
+    summary.set("fuzz_failures",
+                static_cast<unsigned long long>(fuzzFailures));
+    summary.set("ok", violations == 0 && fuzzFailures == 0);
+
+    return makeCheckArtifact(tool, Json(), std::move(cells),
+                             std::move(summary));
+}
+
+} // namespace dir2b

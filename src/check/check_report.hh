@@ -1,0 +1,41 @@
+/**
+ * @file
+ * dir2b.check artifact assembly for the two checking engines.
+ *
+ * Both the exhaustive explorer and the differential fuzzer serialize
+ * their outcomes as cells of a schema-stamped JSON artifact (schema
+ * "dir2b.check", same envelope as the bench sweeps) so CI can diff
+ * verification coverage across commits exactly like it diffs
+ * performance numbers.  Cells carry a "section" discriminator:
+ * "explore" for model-checker cells, "fuzz" for fuzzer cells,
+ * "replay" for replay_check verdicts.
+ */
+
+#ifndef DIR2B_CHECK_CHECK_REPORT_HH
+#define DIR2B_CHECK_CHECK_REPORT_HH
+
+#include "check/differ.hh"
+#include "check/explorer.hh"
+#include "report/report.hh"
+
+namespace dir2b
+{
+
+/** One "explore" cell: configuration axes plus search outcome. */
+Json exploreCellToJson(const ExplorerConfig &cfg,
+                       const ExploreResult &res);
+
+/** One "fuzz" cell: campaign axes plus verdict. */
+Json fuzzCellToJson(const FuzzConfig &cfg, const FuzzResult &res);
+
+/** Assemble explorer + fuzzer results into a dir2b.check artifact
+ *  (without the volatile meta block; callers stampMeta()). */
+Json makeEngineArtifact(const std::string &tool,
+                        const std::vector<ExplorerConfig> &grid,
+                        const std::vector<ExploreResult> &explored,
+                        const FuzzConfig *fuzzCfg,
+                        const FuzzResult *fuzzed);
+
+} // namespace dir2b
+
+#endif // DIR2B_CHECK_CHECK_REPORT_HH

@@ -1,0 +1,200 @@
+#include "check/invariants.hh"
+
+#include <sstream>
+
+#include "core/two_bit_protocol.hh"
+#include "core/two_bit_wt_protocol.hh"
+
+namespace dir2b
+{
+namespace
+{
+
+std::optional<Violation>
+violation(const std::string &kind, const std::string &detail)
+{
+    return Violation{kind, detail};
+}
+
+/** Per-block census of cached copies. */
+struct Copies
+{
+    std::size_t holders = 0;
+    std::size_t modified = 0;
+};
+
+Copies
+census(const Protocol &proto, Addr a)
+{
+    Copies c;
+    for (ProcId p = 0; p < proto.numProcs(); ++p) {
+        const CacheLine *l = proto.cache(p).peek(a);
+        if (!l || !l->valid())
+            continue;
+        ++c.holders;
+        if (l->dirty())
+            ++c.modified;
+    }
+    return c;
+}
+
+std::optional<Violation>
+checkTwoBitMap(GlobalState st, Addr a, const Copies &c,
+               bool writeThrough)
+{
+    std::ostringstream os;
+    os << "block " << a << " is " << toString(st) << " but has "
+       << c.holders << " holder(s), " << c.modified << " modified";
+    const auto bad = violation("map-mismatch", os.str());
+
+    switch (st) {
+      case GlobalState::Absent:
+        if (c.holders != 0)
+            return bad;
+        break;
+      case GlobalState::Present1:
+        if (c.holders != 1 || c.modified != 0)
+            return bad;
+        break;
+      case GlobalState::PresentStar:
+        // Zero or more clean copies: the count is unknowable because
+        // clean ejections cannot be decremented (§3.1 footnote 2).
+        if (c.modified != 0)
+            return bad;
+        break;
+      case GlobalState::PresentM:
+        if (writeThrough || c.holders != 1 || c.modified != 1)
+            return bad;
+        break;
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+std::optional<Violation>
+checkProtocolState(const Protocol &proto, const CoherenceOracle &oracle,
+                   const std::vector<Addr> &blocks)
+{
+    const auto *twoBit = dynamic_cast<const TwoBitProtocol *>(&proto);
+    const auto *wt = dynamic_cast<const TwoBitWtProtocol *>(&proto);
+
+    for (const Addr a : blocks) {
+        const Value want = oracle.expected(a);
+        const Copies c = census(proto, a);
+
+        if (c.modified > 1) {
+            std::ostringstream os;
+            os << "block " << a << " is modified in " << c.modified
+               << " caches";
+            return violation("multi-modified", os.str());
+        }
+
+        for (ProcId p = 0; p < proto.numProcs(); ++p) {
+            const CacheLine *l = proto.cache(p).peek(a);
+            if (!l || !l->valid() || l->value == want)
+                continue;
+            std::ostringstream os;
+            os << "cache " << p << " holds " << toString(l->state)
+               << " copy of block " << a << " with value " << l->value
+               << " but the most recently written value is " << want;
+            return violation("stale-copy", os.str());
+        }
+
+        if (c.modified == 0 && proto.memValue(a) != want) {
+            std::ostringstream os;
+            os << "no modified copy of block " << a
+               << " exists but memory holds " << proto.memValue(a)
+               << " instead of " << want;
+            return violation("stale-memory", os.str());
+        }
+
+        if (twoBit) {
+            auto v = checkTwoBitMap(twoBit->globalState(a), a, c,
+                                    false);
+            if (v)
+                return v;
+        } else if (wt) {
+            auto v = checkTwoBitMap(wt->globalState(a), a, c, true);
+            if (v)
+                return v;
+        }
+    }
+    return std::nullopt;
+}
+
+bool
+broadcastDeltaApplies(const Protocol &proto)
+{
+    return (proto.name() == "two_bit" ||
+            proto.name() == "two_bit_nop1") &&
+           !proto.config().snoopFilter;
+}
+
+PreAccess
+snapshotPreAccess(const Protocol &proto, const MemRef &ref)
+{
+    PreAccess pre;
+    if (const auto *tb = dynamic_cast<const TwoBitProtocol *>(&proto))
+        pre.global = tb->globalState(ref.addr);
+    const CacheLine *l = proto.cache(ref.proc).peek(ref.addr);
+    pre.hit = l && l->valid();
+    pre.dirtyHit = pre.hit && l->dirty();
+    const Copies c = census(proto, ref.addr);
+    pre.otherHolders = c.holders - (pre.hit ? 1 : 0);
+    return pre;
+}
+
+std::optional<Violation>
+checkBroadcastDelta(const Protocol &proto, const PreAccess &pre,
+                    const MemRef &ref, const AccessCounts &delta)
+{
+    const std::size_t n = proto.numProcs();
+    std::uint64_t wantCmds = 0;
+    std::uint64_t wantUseless = 0;
+    const char *situation = "no broadcast";
+
+    if (!ref.write) {
+        if (!pre.hit && pre.global == GlobalState::PresentM) {
+            // T_RM: BROADQUERY(read) reaches n-1 caches; only the
+            // owner's check is useful.
+            wantCmds = n - 1;
+            wantUseless = n - 2;
+            situation = "read miss on PresentM (T_RM)";
+        }
+    } else if (pre.hit && !pre.dirtyHit) {
+        if (pre.global == GlobalState::PresentStar) {
+            // T_WH: BROADINV reaches n-1 caches; the checks at actual
+            // holders are useful.
+            wantCmds = n - 1;
+            wantUseless = (n - 1) - pre.otherHolders;
+            situation = "clean write hit on Present* (T_WH)";
+        }
+        // Present1: MGRANTED with no broadcast (§3.2.4 case 1).
+    } else if (!pre.hit) {
+        if (pre.global == GlobalState::PresentM) {
+            wantCmds = n - 1;
+            wantUseless = n - 2;
+            situation = "write miss on PresentM (T_WM)";
+        } else if (isPresentClean(pre.global)) {
+            wantCmds = n - 1;
+            wantUseless = (n - 1) - pre.otherHolders;
+            situation = "write miss on clean-present (T_WM)";
+        }
+    }
+
+    if (delta.broadcastCmds != wantCmds ||
+        delta.uselessCmds != wantUseless) {
+        std::ostringstream os;
+        os << toString(ref) << " [" << situation << ", prior state "
+           << toString(pre.global) << ", " << pre.otherHolders
+           << " other holder(s)]: expected " << wantCmds
+           << " broadcast deliveries / " << wantUseless
+           << " useless, measured " << delta.broadcastCmds << " / "
+           << delta.uselessCmds;
+        return violation("count-mismatch", os.str());
+    }
+    return std::nullopt;
+}
+
+} // namespace dir2b

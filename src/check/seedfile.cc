@@ -1,0 +1,137 @@
+#include "check/seedfile.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "trace/trace_io.hh"
+#include "util/logging.hh"
+
+namespace dir2b
+{
+namespace
+{
+
+constexpr const char *seedMagic = "dir2b.seed";
+constexpr int seedVersion = 1;
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string item;
+    std::istringstream is(s);
+    while (std::getline(is, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+} // namespace
+
+void
+writeSeed(std::ostream &os, const ReplaySeed &seed)
+{
+    os << seedMagic << " " << seedVersion << "\n";
+    os << "procs " << seed.numProcs << "\n";
+    os << "modules " << seed.numModules << "\n";
+    os << "sets " << seed.sets << "\n";
+    os << "ways " << seed.ways << "\n";
+    // An empty scheme list means "every functional protocol"; it is
+    // written as the explicit sentinel so the line always has a value.
+    os << "protocols ";
+    if (seed.protocols.empty()) {
+        os << "default";
+    } else {
+        for (std::size_t i = 0; i < seed.protocols.size(); ++i)
+            os << (i ? "," : "") << seed.protocols[i];
+    }
+    os << "\n";
+    os << "trace " << seed.trace.size() << "\n";
+    writeTrace(os, seed.trace);
+}
+
+ReplaySeed
+readSeed(std::istream &is)
+{
+    std::string magic;
+    int version = 0;
+    if (!(is >> magic >> version) || magic != seedMagic)
+        DIR2B_FATAL("not a ", seedMagic, " file");
+    if (version != seedVersion)
+        DIR2B_FATAL("unsupported seed version ", version,
+                    " (this build reads version ", seedVersion, ")");
+
+    ReplaySeed seed;
+    std::size_t traceLen = 0;
+    std::string key;
+    while (is >> key) {
+        if (key == "procs") {
+            std::uint64_t v;
+            is >> v;
+            seed.numProcs = static_cast<ProcId>(v);
+        } else if (key == "modules") {
+            std::uint64_t v;
+            is >> v;
+            seed.numModules = static_cast<ModuleId>(v);
+        } else if (key == "sets") {
+            is >> seed.sets;
+        } else if (key == "ways") {
+            is >> seed.ways;
+        } else if (key == "protocols") {
+            std::string list;
+            is >> list;
+            seed.protocols =
+                list == "default" ? std::vector<std::string>{}
+                                  : splitCommas(list);
+        } else if (key == "trace") {
+            is >> traceLen;
+            break;
+        } else {
+            DIR2B_FATAL("unknown seed-file key '", key, "'");
+        }
+        if (!is)
+            DIR2B_FATAL("malformed seed-file value for '", key, "'");
+    }
+    if (!is)
+        DIR2B_FATAL("seed file ends before its trace section");
+
+    std::string line;
+    std::getline(is, line); // consume the rest of the "trace N" line
+    while (seed.trace.size() < traceLen && std::getline(is, line)) {
+        MemRef r;
+        if (parseTraceLine(line, r))
+            seed.trace.push_back(r);
+    }
+    if (seed.trace.size() != traceLen)
+        DIR2B_FATAL("seed file promises ", traceLen,
+                    " references but holds ", seed.trace.size());
+    if (seed.numProcs == 0)
+        DIR2B_FATAL("seed file declares zero processors");
+    for (const MemRef &r : seed.trace)
+        if (r.proc >= seed.numProcs)
+            DIR2B_FATAL("seed trace references processor ", r.proc,
+                        " but the system has ", seed.numProcs);
+    return seed;
+}
+
+void
+writeSeedFile(const std::string &path, const ReplaySeed &seed)
+{
+    std::ofstream os(path);
+    if (!os)
+        DIR2B_FATAL("cannot open '", path, "' for writing");
+    writeSeed(os, seed);
+    if (!os.good())
+        DIR2B_FATAL("I/O error writing '", path, "'");
+}
+
+ReplaySeed
+readSeedFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        DIR2B_FATAL("cannot open '", path, "'");
+    return readSeed(is);
+}
+
+} // namespace dir2b

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Replayable counterexample files for the differential fuzzer.
+ *
+ * When the fuzzer finds a divergence it shrinks the trace and writes a
+ * *seed file*: the complete recipe — system configuration, scheme
+ * list, and the minimized reference trace — needed to reproduce the
+ * failure.  tools/replay_check loads one and re-runs the identical
+ * differential check.
+ *
+ * Format (text, line-oriented; `#` starts a comment):
+ *
+ *   dir2b.seed 1
+ *   procs 3
+ *   modules 2
+ *   sets 4
+ *   ways 2
+ *   protocols two_bit,full_map
+ *   trace 5
+ *   0 R 0x2a
+ *   1 W 0x2a
+ *   ...
+ *
+ * `protocols default` stands for the empty list, i.e. "cross-check
+ * every functional scheme".
+ *
+ * The trace lines are exactly the trace_io format, so a seed's tail
+ * can be fed to any trace-replaying tool unchanged.
+ */
+
+#ifndef DIR2B_CHECK_SEEDFILE_HH
+#define DIR2B_CHECK_SEEDFILE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/reference.hh"
+
+namespace dir2b
+{
+
+/** Everything needed to reproduce one differential-check run. */
+struct ReplaySeed
+{
+    ProcId numProcs = 2;
+    ModuleId numModules = 1;
+    std::size_t sets = 4;
+    std::size_t ways = 2;
+    /** Schemes to cross-check; empty means every functional scheme. */
+    std::vector<std::string> protocols;
+    std::vector<MemRef> trace;
+};
+
+/** Serialise a seed. */
+void writeSeed(std::ostream &os, const ReplaySeed &seed);
+
+/** Parse a seed; DIR2B_FATAL on malformed input. */
+ReplaySeed readSeed(std::istream &is);
+
+/** File convenience wrappers; DIR2B_FATAL on I/O failure. */
+void writeSeedFile(const std::string &path, const ReplaySeed &seed);
+ReplaySeed readSeedFile(const std::string &path);
+
+} // namespace dir2b
+
+#endif // DIR2B_CHECK_SEEDFILE_HH

@@ -1,0 +1,87 @@
+#include "check/shrink.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace dir2b
+{
+namespace
+{
+
+/** trace with [begin, begin+len) removed. */
+std::vector<MemRef>
+without(const std::vector<MemRef> &trace, std::size_t begin,
+        std::size_t len)
+{
+    std::vector<MemRef> out;
+    out.reserve(trace.size() - len);
+    out.insert(out.end(), trace.begin(), trace.begin() + begin);
+    out.insert(out.end(), trace.begin() + begin + len, trace.end());
+    return out;
+}
+
+} // namespace
+
+std::vector<MemRef>
+shrinkTrace(std::vector<MemRef> trace, const FailPredicate &fails,
+            std::uint64_t maxAttempts, ShrinkStats *stats)
+{
+    ShrinkStats local;
+    ShrinkStats &st = stats ? *stats : local;
+    st.initialSize = trace.size();
+
+    auto tryRemove = [&](std::size_t begin, std::size_t len) {
+        if (st.attempts >= maxAttempts)
+            return false;
+        ++st.attempts;
+        auto candidate = without(trace, begin, len);
+        if (fails(candidate)) {
+            trace = std::move(candidate);
+            return true;
+        }
+        return false;
+    };
+
+    ++st.attempts;
+    DIR2B_ASSERT(fails(trace),
+                 "shrinkTrace called with a passing trace of ",
+                 trace.size(), " references");
+
+    // Coarse phase: remove chunks, halving the chunk size.
+    for (std::size_t chunk = trace.size() / 2; chunk >= 1; chunk /= 2) {
+        bool any = true;
+        while (any && st.attempts < maxAttempts) {
+            any = false;
+            // Scan back-to-front so surviving indices stay valid.
+            for (std::size_t begin = trace.size();
+                 begin >= chunk && trace.size() > chunk;) {
+                begin -= chunk;
+                if (begin >= trace.size())
+                    continue;
+                const std::size_t len =
+                    std::min(chunk, trace.size() - begin);
+                if (tryRemove(begin, len))
+                    any = true;
+            }
+        }
+        if (chunk == 1)
+            break;
+    }
+
+    // Fine phase: single removals until a fixpoint (1-minimality).
+    bool any = true;
+    while (any && st.attempts < maxAttempts) {
+        any = false;
+        for (std::size_t i = trace.size(); i > 0;) {
+            --i;
+            if (i < trace.size() && tryRemove(i, 1))
+                any = true;
+        }
+    }
+
+    st.finalSize = trace.size();
+    return trace;
+}
+
+} // namespace dir2b

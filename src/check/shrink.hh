@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Delta-debugging trace minimization.
+ *
+ * Given a reference trace on which some predicate fails (a coherence
+ * violation, a cross-scheme divergence), shrinkTrace() removes as many
+ * references as possible while the predicate keeps failing, in the
+ * classic ddmin style: coarse chunk removal with halving granularity,
+ * then single-reference removal to a fixpoint.  The result is
+ * 1-minimal — removing any single remaining reference makes the
+ * failure disappear — which is what makes a fuzzer counterexample
+ * readable.
+ *
+ * The predicate must be deterministic (same trace, same verdict);
+ * every replay in this repository is.
+ */
+
+#ifndef DIR2B_CHECK_SHRINK_HH
+#define DIR2B_CHECK_SHRINK_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "trace/reference.hh"
+
+namespace dir2b
+{
+
+/** Verdict function: true when the trace still exhibits the failure. */
+using FailPredicate =
+    std::function<bool(const std::vector<MemRef> &)>;
+
+/** Statistics of one shrink run. */
+struct ShrinkStats
+{
+    std::uint64_t attempts = 0;  ///< candidate traces evaluated
+    std::size_t initialSize = 0;
+    std::size_t finalSize = 0;
+};
+
+/**
+ * Minimize `trace` under `fails` (which must hold for `trace` itself;
+ * panics otherwise).  Stops early after `maxAttempts` predicate
+ * evaluations, returning the best trace found so far (still failing).
+ */
+std::vector<MemRef>
+shrinkTrace(std::vector<MemRef> trace, const FailPredicate &fails,
+            std::uint64_t maxAttempts = 100000,
+            ShrinkStats *stats = nullptr);
+
+} // namespace dir2b
+
+#endif // DIR2B_CHECK_SHRINK_HH

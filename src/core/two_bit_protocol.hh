@@ -76,6 +76,7 @@ class TwoBitProtocol : public Protocol
     /** §2.2 context-switch flush: dirty lines EJECT(write), clean
      *  lines EJECT(read) (reclaiming Present1 blocks). */
     void flushCache(ProcId p) override;
+    bool supportsFlush() const override { return true; }
 
     /** Global state of block a as the directory believes it. */
     GlobalState globalState(Addr a) const { return dirFor(a).get(a); }

@@ -51,6 +51,7 @@ class TwoBitWtProtocol : public Protocol
 
     void checkInvariants() const override;
     void flushCache(ProcId p) override;
+    bool supportsFlush() const override { return true; }
 
     GlobalState globalState(Addr a) const { return dirFor(a).get(a); }
 

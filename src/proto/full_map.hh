@@ -49,6 +49,7 @@ class FullMapProtocol : public Protocol
 
     /** §2.2 context-switch flush with exact bit clearing. */
     void flushCache(ProcId p) override;
+    bool supportsFlush() const override { return true; }
 
     /** Directory entry for block a (Absent-equivalent if missing). */
     const FullMapEntry *entry(Addr a) const;

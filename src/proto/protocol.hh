@@ -146,6 +146,14 @@ class Protocol
      */
     virtual void flushCache(ProcId p);
 
+    /**
+     * Whether flushCache is implemented for this scheme.  Lets generic
+     * drivers (the state-space explorer's action alphabet, tooling)
+     * query capability instead of keeping a scheme-name list that goes
+     * stale when a protocol gains flush support.
+     */
+    virtual bool supportsFlush() const { return false; }
+
   protected:
     /** Scheme-specific transaction body. */
     virtual Value doAccess(ProcId k, Addr a, bool write, Value wval) = 0;

@@ -153,6 +153,23 @@ makeSweepArtifact(const std::string &bench, Json params, Json cells,
     return j;
 }
 
+Json
+makeCheckArtifact(const std::string &tool, Json params, Json cells,
+                  Json summary)
+{
+    DIR2B_ASSERT(cells.isArray(), "artifact cells must be an array");
+    Json j = Json::object();
+    j.set("schema", checkSchemaName);
+    j.set("schema_version", reportSchemaVersion);
+    j.set("bench", tool);
+    if (!params.isNull())
+        j.set("params", std::move(params));
+    j.set("cells", std::move(cells));
+    if (!summary.isNull())
+        j.set("summary", std::move(summary));
+    return j;
+}
+
 void
 stampMeta(Json &artifact, unsigned threads, double wallMs, bool quick)
 {

@@ -43,6 +43,11 @@ constexpr int reportSchemaVersion = 1;
 /** The "schema" discriminator string. */
 constexpr const char *reportSchemaName = "dir2b.sweep";
 
+/** Discriminator of correctness-tooling artifacts (model checker,
+ *  differential fuzzer, replay tool); same envelope as dir2b.sweep,
+ *  different cell vocabulary (see docs/CHECKING.md). */
+constexpr const char *checkSchemaName = "dir2b.check";
+
 /** Every AccessCounts field (raw counters) plus the derived ratios. */
 Json countsToJson(const AccessCounts &c);
 
@@ -59,6 +64,11 @@ Json statGroupToJson(const StatGroup &g);
  * must be an array.
  */
 Json makeSweepArtifact(const std::string &bench, Json params,
+                       Json cells, Json summary = Json());
+
+/** Same envelope, stamped with the dir2b.check schema — used by the
+ *  model checker, the fuzzer and replay_check. */
+Json makeCheckArtifact(const std::string &tool, Json params,
                        Json cells, Json summary = Json());
 
 /** Attach the volatile (non-deterministic) block.  Only fields in

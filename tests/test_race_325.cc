@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Directed regression for the §3.2.5 write-write race.
+ *
+ * Two caches hold clean copies of block a and both issue STORE(a) "at
+ * the same time".  The paper's resolution: the controller grants one
+ * MREQUEST, broadcasts BROADINV, and deletes the loser's queued
+ * MREQUEST; the loser treats the incoming BROADINV as an implicit
+ * MGRANTED(false) and retries as a write miss.  These tests pin each
+ * observable piece of that mechanism in the timed tier so a scheduling
+ * or queue-handling regression cannot silently reintroduce the lost-
+ * store / double-grant hazards the scenario exists to prevent.
+ */
+
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "timed/timed_system.hh"
+
+namespace dir2b
+{
+namespace
+{
+
+struct ScriptedRun
+{
+    TimedRunResult result;
+    std::uint64_t grantsTrue = 0;
+    std::uint64_t grantsFalse = 0;
+    std::uint64_t mreqDeleted = 0;
+    std::uint64_t mrequests = 0;
+    std::uint64_t conversions = 0;
+    std::size_t totalRefs = 0;
+};
+
+/** Drive the §3.2.5 scenario: P0/P1 read-then-store block a while P2
+ *  keeps the single directory controller's queue busy so both
+ *  MREQUESTs are in flight together. */
+ScriptedRun
+runRace(unsigned dirLatency)
+{
+    TimedConfig cfg;
+    cfg.numProcs = 3;
+    cfg.numModules = 1;
+    cfg.cacheGeom.sets = 16;
+    cfg.cacheGeom.ways = 2;
+    cfg.dirLatency = dirLatency;
+
+    TimedSystem sys(cfg);
+
+    const Addr a = 7;
+    std::vector<std::vector<MemRef>> scripts = {
+        {{0, a, false}, {0, a, true}},
+        {{1, a, false}, {1, a, true}},
+        {{2, 9, false}, {2, 11, false}, {2, 13, false}},
+    };
+    std::vector<std::size_t> pos(scripts.size(), 0);
+    auto src = [&](ProcId p) -> std::optional<MemRef> {
+        if (pos[p] >= scripts[p].size())
+            return std::nullopt;
+        return scripts[p][pos[p]++];
+    };
+
+    ScriptedRun out;
+    for (const auto &s : scripts)
+        out.totalRefs += s.size();
+    out.result = sys.run(src, 100);
+
+    const auto &d = sys.dirCtrl(0).stats();
+    out.grantsTrue = d.grantsTrue.value();
+    out.grantsFalse = d.grantsFalse.value();
+    out.mreqDeleted = d.mreqDeleted.value();
+    for (ProcId p = 0; p < cfg.numProcs; ++p) {
+        const auto &s = sys.cacheCtrl(p).stats();
+        out.mrequests += s.mrequests.value();
+        out.conversions += s.mrequestConversions.value();
+    }
+    return out;
+}
+
+TEST(Race325, ConcurrentStoresCollideAndResolve)
+{
+    // dirLatency 8 gives the controller a wide service window, so both
+    // MREQUESTs are queued together and the race actually fires.
+    const ScriptedRun r = runRace(8);
+
+    // Every reference completed: the losing store was retried, not
+    // dropped.
+    EXPECT_EQ(r.result.refsCompleted, r.totalRefs);
+
+    // Both writers asked for modification rights.
+    EXPECT_GE(r.mrequests, 2u);
+
+    // Exactly one writer won the first round.
+    EXPECT_GE(r.grantsTrue, 1u);
+
+    // The loser's queued MREQUEST was deleted by the winner's
+    // BROADINV sweep (the delete-anywhere queue of §3.2.5)...
+    EXPECT_GE(r.mreqDeleted, 1u);
+
+    // ...and the loser saw that BROADINV as an implicit
+    // MGRANTED(false), retrying as a write miss.
+    EXPECT_GE(r.conversions, 1u);
+    EXPECT_GE(r.grantsFalse + r.conversions, 1u);
+
+    // The run's internal per-location oracle checked every read; the
+    // run would have panicked on a lost store.
+    EXPECT_GT(r.result.readsChecked, 0u);
+}
+
+TEST(Race325, FastControllerStillCoherent)
+{
+    // With a fast controller the MREQUESTs may serialize instead of
+    // colliding; either way every store must land and the oracle must
+    // stay silent.  The race-specific counters are allowed to be zero
+    // here — this test pins the non-racy path of the same scenario.
+    const ScriptedRun r = runRace(1);
+    EXPECT_EQ(r.result.refsCompleted, r.totalRefs);
+    EXPECT_GE(r.mrequests, 2u);
+}
+
+TEST(Race325, RaceCountersAreStableAcrossReruns)
+{
+    // The timed tier is deterministic: the same script and latencies
+    // must reproduce the identical race resolution, which is what
+    // makes this regression directed rather than flaky.
+    const ScriptedRun r1 = runRace(8);
+    const ScriptedRun r2 = runRace(8);
+    EXPECT_EQ(r1.result.refsCompleted, r2.result.refsCompleted);
+    EXPECT_EQ(r1.grantsTrue, r2.grantsTrue);
+    EXPECT_EQ(r1.grantsFalse, r2.grantsFalse);
+    EXPECT_EQ(r1.mreqDeleted, r2.mreqDeleted);
+    EXPECT_EQ(r1.conversions, r2.conversions);
+    EXPECT_EQ(r1.result.finalTick, r2.result.finalTick);
+}
+
+} // namespace
+} // namespace dir2b

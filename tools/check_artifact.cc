@@ -4,10 +4,10 @@
  *
  *   check_artifact FILE [--cells N] [--bench NAME] [--compare OTHER]
  *
- * Checks that FILE parses as JSON and carries the dir2b.sweep schema
- * (schema discriminator, supported schema_version, bench name, cells
- * array whose every element is an object with a "section" string, and
- * a meta block).  With --cells the cell count must equal N; with
+ * Checks that FILE parses as JSON and carries the dir2b.sweep or
+ * dir2b.check schema (schema discriminator, supported schema_version,
+ * bench name, cells array whose every element is an object with a
+ * "section" string, and a meta block).  With --cells the cell count must equal N; with
  * --bench the "bench" field must equal NAME; with --compare the two
  * artifacts must have equal payloads once the volatile "meta" block is
  * excluded — the determinism contract between --threads 1 and
@@ -39,7 +39,8 @@ usage(const char *argv0)
     std::printf(
         "usage: %s FILE [--cells N] [--bench NAME] [--compare OTHER]\n"
         "\n"
-        "Validate a dir2b.sweep JSON artifact (see docs/METRICS.md).\n"
+        "Validate a dir2b.sweep or dir2b.check JSON artifact\n"
+        "(see docs/METRICS.md and docs/CHECKING.md).\n"
         "  --cells N       require exactly N cells\n"
         "  --bench NAME    require the bench field to equal NAME\n"
         "  --compare OTHER require payload equality with artifact\n"
@@ -57,9 +58,12 @@ validate(const Json &a, const std::string &path)
                             "cells", "meta"})
         if (!a.contains(key))
             fail(path + ": missing required field '" + key + "'");
-    if (a.at("schema").asString() != dir2b::reportSchemaName)
-        fail(path + ": schema is '" + a.at("schema").asString() +
-             "', expected '" + dir2b::reportSchemaName + "'");
+    const std::string schema = a.at("schema").asString();
+    if (schema != dir2b::reportSchemaName &&
+        schema != dir2b::checkSchemaName)
+        fail(path + ": schema is '" + schema + "', expected '" +
+             dir2b::reportSchemaName + "' or '" +
+             dir2b::checkSchemaName + "'");
     const auto version = a.at("schema_version").asInt();
     if (version < 1 || version > dir2b::reportSchemaVersion)
         fail(path + ": unsupported schema_version " +

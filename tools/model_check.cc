@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Command-line driver for the two checking engines.
+ *
+ *   model_check [--quick] [--seeds N] [--refs N] [--no-timed]
+ *               [--threads N] [--json OUT]
+ *
+ * Runs the exhaustive explorer over the default small-configuration
+ * grid (every factory protocol plus the no-Present1 ablation at 2
+ * caches x 1-2 blocks, including a direct-mapped replacement-pressure
+ * cell) and a differential fuzz campaign, then writes a dir2b.check
+ * JSON artifact and exits 0 iff no violation was found.  Both engines
+ * dispatch through the shared worker pool; the artifact payload is
+ * identical at any --threads value.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "check/check_report.hh"
+#include "util/parallel.hh"
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [--quick] [--seeds N] [--refs N] [--no-timed]\n"
+        "          [--threads N] [--json OUT]\n"
+        "\n"
+        "Exhaustive small-configuration model check plus a\n"
+        "differential fuzz campaign (see docs/CHECKING.md).\n"
+        "  --quick      smaller fuzz campaign (CI smoke budget)\n"
+        "  --seeds N    fuzz campaign size (default 16, quick 4)\n"
+        "  --refs N     references per fuzz seed (default 4000)\n"
+        "  --no-timed   skip the timed-tier lockstep run\n"
+        "  --threads N  worker pool width (default: all cores)\n"
+        "  --json OUT   write the dir2b.check artifact to OUT\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace dir2b;
+
+    bool quick = false;
+    bool withTimed = true;
+    std::uint64_t seeds = 0;
+    std::uint64_t refs = 4000;
+    unsigned threads = 0;
+    std::string jsonPath;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--no-timed") {
+            withTimed = false;
+        } else if (arg == "--seeds" && i + 1 < argc) {
+            seeds = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--refs" && i + 1 < argc) {
+            refs = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--threads" && i + 1 < argc) {
+            threads = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--json" && i + 1 < argc) {
+            jsonPath = argv[++i];
+        } else {
+            usage(argv[0]);
+            return 1;
+        }
+    }
+    if (seeds == 0)
+        seeds = quick ? 4 : 16;
+    if (threads)
+        setDefaultThreadCount(threads);
+
+    const auto t0 = std::chrono::steady_clock::now();
+
+    const auto grid = defaultExplorerGrid();
+    std::printf("model_check: exploring %zu cells...\n", grid.size());
+    const auto explored = exploreGrid(grid);
+
+    std::uint64_t states = 0;
+    std::uint64_t transitions = 0;
+    std::uint64_t violations = 0;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        states += explored[i].statesVisited;
+        transitions += explored[i].transitionsChecked;
+        violations += explored[i].violations.size();
+        if (!explored[i].violations.empty()) {
+            std::printf("  VIOLATION %s (%u procs, %zu blocks): %s\n",
+                        grid[i].protocol.c_str(), grid[i].numProcs,
+                        grid[i].numBlocks,
+                        explored[i].violations.front().detail.c_str());
+            for (const auto &a : explored[i].trail)
+                std::printf("    %s\n", toString(a).c_str());
+        }
+    }
+    std::printf("model_check: %llu states, %llu transitions, "
+                "%llu violation(s)\n",
+                static_cast<unsigned long long>(states),
+                static_cast<unsigned long long>(transitions),
+                static_cast<unsigned long long>(violations));
+
+    FuzzConfig fc;
+    fc.numSeeds = seeds;
+    fc.refsPerSeed = refs;
+    fc.diff.withTimed = withTimed;
+    std::printf("model_check: fuzzing %llu seeds x %llu refs "
+                "(%zu schemes%s)...\n",
+                static_cast<unsigned long long>(fc.numSeeds),
+                static_cast<unsigned long long>(fc.refsPerSeed),
+                functionalCheckProtocols().size(),
+                withTimed ? " + timed tier" : "");
+    const FuzzResult fuzzed = fuzzMany(fc);
+    for (const auto &f : fuzzed.failures) {
+        std::printf("  FAILURE seed %llu [%s] at step %zu (%s): %s\n",
+                    static_cast<unsigned long long>(f.seedIndex),
+                    f.failure.protocol.c_str(), f.failure.step,
+                    f.failure.kind.c_str(), f.failure.detail.c_str());
+    }
+    std::printf("model_check: %llu fuzz failure(s)\n",
+                static_cast<unsigned long long>(fuzzed.failures.size()));
+
+    const double wallMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0).count();
+
+    if (!jsonPath.empty()) {
+        Json artifact = makeEngineArtifact("model_check", grid,
+                                           explored, &fc, &fuzzed);
+        stampMeta(artifact, threads ? threads : defaultThreadCount(),
+                  wallMs, quick);
+        writeArtifact(jsonPath, artifact);
+        std::printf("model_check: artifact written to %s\n",
+                    jsonPath.c_str());
+    }
+
+    return violations == 0 && fuzzed.failures.empty() ? 0 : 1;
+}
