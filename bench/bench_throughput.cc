@@ -8,14 +8,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <memory>
+#include <unordered_map>
 
 #include "core/two_bit_directory.hh"
 #include "model/overhead_model.hh"
 #include "model/sharing_chain.hh"
 #include "proto/protocol_factory.hh"
 #include "sim/event_queue.hh"
+#include "timed/timed_system.hh"
 #include "trace/synthetic.hh"
+#include "util/flat_map.hh"
 
 namespace
 {
@@ -92,6 +96,184 @@ BM_EventQueueScheduleRun(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations()) * 64);
 }
 BENCHMARK(BM_EventQueueScheduleRun);
+
+/**
+ * One self-sustaining event chain: every fired event schedules its
+ * successor at a delay drawn from the timed tier's characteristic mix
+ * (cache hit 1, directory 2, network hop 4, memory 10, rare long
+ * think window), with a capture sized like a real controller callback
+ * (this-pointer plus a Message by value).
+ */
+struct KernelChurn
+{
+    EventQueue *eq;
+    std::uint64_t idx;
+    std::uint64_t *sink;
+
+    void
+    fire()
+    {
+        static constexpr Tick delays[] = {1, 4, 2, 10, 4, 1, 2, 4,
+                                          1, 10, 4, 2, 1, 4, 100, 2};
+        const Tick d = delays[idx & 15];
+        ++idx;
+        *sink += d;
+        std::uint64_t pad[5] = {idx, idx + 1, idx + 2, idx + 3,
+                                idx + 4};
+        KernelChurn next = *this;
+        eq->schedule(d, [next, pad]() mutable {
+            benchmark::DoNotOptimize(pad);
+            KernelChurn c = next;
+            c.fire();
+        });
+    }
+};
+
+/**
+ * Sustained schedule/fire mix: 64 live chains churn through the
+ * kernel without ever draining it, which is what the timed tier
+ * actually does (the burst bench above measures the empty/refill
+ * corner instead).  This is the headline events/sec figure in
+ * docs/PERFORMANCE.md and BENCH_4.json.
+ */
+void
+BM_EventKernelChurn(benchmark::State &state)
+{
+    EventQueue eq;
+    std::uint64_t sink = 0;
+    for (int c = 0; c < 64; ++c) {
+        KernelChurn chain{&eq, static_cast<std::uint64_t>(c) * 7,
+                          &sink};
+        chain.fire();
+    }
+    constexpr std::uint64_t batch = 4096;
+    for (auto _ : state)
+        eq.run(batch);
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_EventKernelChurn);
+
+constexpr std::uint64_t
+lcgNext(std::uint64_t x)
+{
+    return x * 6364136223846793005ULL + 1442695040888963407ULL;
+}
+
+/** Hit-heavy lookups over 4096 block-aligned keys (directory shape). */
+template <typename Map>
+void
+mapLookupHit(benchmark::State &state)
+{
+    Map m;
+    constexpr std::uint64_t n = 4096;
+    for (std::uint64_t i = 0; i < n; ++i)
+        m[i << 6] = i;
+    std::uint64_t x = 0x1234;
+    std::uint64_t sum = 0;
+    for (auto _ : state) {
+        x = lcgNext(x);
+        const std::uint64_t key = ((x >> 33) & (n - 1)) << 6;
+        sum += m.find(key)->second;
+    }
+    benchmark::DoNotOptimize(sum);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+
+void
+BM_FlatMapLookupHit(benchmark::State &state)
+{
+    mapLookupHit<FlatMap<std::uint64_t, std::uint64_t>>(state);
+}
+BENCHMARK(BM_FlatMapLookupHit);
+
+void
+BM_UnorderedMapLookupHit(benchmark::State &state)
+{
+    mapLookupHit<std::unordered_map<std::uint64_t, std::uint64_t>>(
+        state);
+}
+BENCHMARK(BM_UnorderedMapLookupHit);
+
+/** Busy-table churn: a small live set of open/close windows, the
+ *  access pattern of DirCtrlBase::busy_ under per-block concurrency. */
+template <typename Map>
+void
+mapChurn(benchmark::State &state)
+{
+    Map m;
+    std::uint64_t x = 0x5678;
+    std::uint64_t sum = 0;
+    for (auto _ : state) {
+        x = lcgNext(x);
+        const std::uint64_t key = ((x >> 33) & 63) << 6;
+        auto it = m.find(key);
+        if (it == m.end()) {
+            m[key] = x;
+        } else {
+            sum += it->second;
+            m.erase(it);
+        }
+    }
+    benchmark::DoNotOptimize(sum);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+
+void
+BM_FlatMapChurn(benchmark::State &state)
+{
+    mapChurn<FlatMap<std::uint64_t, std::uint64_t>>(state);
+}
+BENCHMARK(BM_FlatMapChurn);
+
+void
+BM_UnorderedMapChurn(benchmark::State &state)
+{
+    mapChurn<std::unordered_map<std::uint64_t, std::uint64_t>>(state);
+}
+BENCHMARK(BM_UnorderedMapChurn);
+
+/** End-to-end timed tier: references retired per second through the
+ *  full two-bit protocol with crossbar contention. */
+void
+BM_TimedTwoBitEndToEnd(benchmark::State &state)
+{
+    std::uint64_t refs = 0;
+    for (auto _ : state) {
+        TimedConfig cfg;
+        cfg.protocol = TimedProto::TwoBit;
+        cfg.numProcs = 4;
+        cfg.numModules = 2;
+        cfg.cacheGeom.sets = 16;
+        cfg.cacheGeom.ways = 2;
+        cfg.perBlockConcurrency = true;
+        cfg.network = NetKind::Crossbar;
+        TimedSystem sys(cfg);
+
+        SyntheticConfig scfg;
+        scfg.numProcs = 4;
+        scfg.q = 0.2;
+        scfg.w = 0.3;
+        scfg.sharedBlocks = 8;
+        scfg.privateBlocks = 64;
+        scfg.hotBlocks = 16;
+        scfg.seed = 0xbe7c4;
+        SyntheticStream stream(scfg);
+
+        const auto r = sys.run(
+            [&](ProcId p) -> std::optional<MemRef> {
+                return stream.nextFor(p);
+            },
+            400);
+        refs += r.refsCompleted;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(refs));
+}
+BENCHMARK(BM_TimedTwoBitEndToEnd);
 
 void
 BM_TwoBitDirectorySetGet(benchmark::State &state)

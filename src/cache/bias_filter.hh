@@ -17,9 +17,9 @@
 
 #include <cstddef>
 #include <list>
-#include <unordered_map>
 
 #include "sim/stats.hh"
+#include "util/flat_map.hh"
 #include "util/types.hh"
 
 namespace dir2b
@@ -85,7 +85,7 @@ class BiasFilter
 
     std::size_t capacity_;
     std::list<Addr> lru_;
-    std::unordered_map<Addr, std::list<Addr>::iterator> map_;
+    FlatMap<Addr, std::list<Addr>::iterator> map_;
     Counter absorbed_;
     Counter passed_;
 };

@@ -15,9 +15,8 @@
 #ifndef DIR2B_CACHE_SNOOP_FILTER_HH
 #define DIR2B_CACHE_SNOOP_FILTER_HH
 
-#include <unordered_set>
-
 #include "sim/stats.hh"
+#include "util/flat_map.hh"
 #include "util/types.hh"
 
 namespace dir2b
@@ -73,7 +72,7 @@ class SnoopFilter
     }
 
   private:
-    std::unordered_set<Addr> resident_;
+    FlatSet<Addr> resident_;
     Counter filtered_;
     Counter forwarded_;
 };

@@ -27,10 +27,10 @@
 #include <cstddef>
 #include <list>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/stats.hh"
+#include "util/flat_map.hh"
 #include "util/types.hh"
 
 namespace dir2b
@@ -138,7 +138,7 @@ class TranslationBuffer
 
     std::size_t capacity_;
     std::list<EntryNode> lru_;
-    std::unordered_map<Addr, std::list<EntryNode>::iterator> map_;
+    FlatMap<Addr, std::list<EntryNode>::iterator> map_;
     Counter hits_;
     Counter misses_;
 };

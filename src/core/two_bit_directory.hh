@@ -9,20 +9,21 @@
  * and 16-byte blocks, §2.4.2); this map needs 2 bits per block
  * regardless of n (~0.8% for the same geometry).
  *
- * The store is chunked so that sparse reference streams do not
- * materialise state for untouched regions, while still exposing the
- * true hardware cost via bitsPerBlock().
+ * The words are held in a PagedArray so that sparse reference streams
+ * do not materialise state for untouched regions — a lookup is a page
+ * probe (cached for the repeated-touch common case) plus a shift/mask,
+ * which matches the paper's framing of the directory as plain indexed
+ * storage.  bitsPerBlock() still exposes the true hardware cost.
  */
 
 #ifndef DIR2B_CORE_TWO_BIT_DIRECTORY_HH
 #define DIR2B_CORE_TWO_BIT_DIRECTORY_HH
 
 #include <cstdint>
-#include <unordered_map>
-#include <vector>
 
 #include "core/global_state.hh"
 #include "sim/stats.hh"
+#include "util/paged_array.hh"
 #include "util/types.hh"
 
 namespace dir2b
@@ -36,10 +37,9 @@ class TwoBitDirectory
     GlobalState
     get(Addr a) const
     {
-        auto it = chunks_.find(a >> chunkShift);
-        if (it == chunks_.end())
-            return GlobalState::Absent;
-        const std::uint64_t word = it->second[wordIndex(a)];
+        // Untouched words read as zero, which is Absent by
+        // construction (GlobalState::Absent == 0).
+        const std::uint64_t word = words_.get(a / blocksPerWord);
         return static_cast<GlobalState>((word >> bitOffset(a)) & 0x3);
     }
 
@@ -48,10 +48,7 @@ class TwoBitDirectory
     set(Addr a, GlobalState st)
     {
         ++setstates_;
-        auto &chunk = chunks_[a >> chunkShift];
-        if (chunk.empty())
-            chunk.assign(wordsPerChunk, 0);
-        std::uint64_t &word = chunk[wordIndex(a)];
+        std::uint64_t &word = words_.ref(a / blocksPerWord);
         word &= ~(0x3ULL << bitOffset(a));
         word |= static_cast<std::uint64_t>(st) << bitOffset(a);
     }
@@ -66,28 +63,25 @@ class TwoBitDirectory
     std::uint64_t
     materialisedBits() const
     {
-        return chunks_.size() * blocksPerChunk * bitsPerBlock();
+        return words_.pageCount() * blocksPerPage * bitsPerBlock();
     }
 
   private:
-    // 4096 blocks (1 KiB of directory) per chunk.
-    static constexpr unsigned chunkShift = 12;
-    static constexpr std::uint64_t blocksPerChunk = 1ULL << chunkShift;
-    static constexpr std::uint64_t wordsPerChunk = blocksPerChunk / 32;
-
-    static std::size_t
-    wordIndex(Addr a)
-    {
-        return static_cast<std::size_t>((a & (blocksPerChunk - 1)) / 32);
-    }
+    /** One 64-bit word packs 32 blocks at two bits each. */
+    static constexpr std::uint64_t blocksPerWord = 32;
+    // 128 words (1 KiB of directory, 4096 blocks) per page — the same
+    // materialisation granularity as the previous chunked map.
+    static constexpr unsigned pageBits = 7;
+    static constexpr std::uint64_t blocksPerPage =
+        (std::uint64_t{1} << pageBits) * blocksPerWord;
 
     static unsigned
     bitOffset(Addr a)
     {
-        return static_cast<unsigned>((a % 32) * 2);
+        return static_cast<unsigned>((a % blocksPerWord) * 2);
     }
 
-    std::unordered_map<Addr, std::vector<std::uint64_t>> chunks_;
+    PagedArray<std::uint64_t, pageBits> words_;
     Counter setstates_;
 };
 

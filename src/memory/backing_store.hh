@@ -9,9 +9,8 @@
 #ifndef DIR2B_MEMORY_BACKING_STORE_HH
 #define DIR2B_MEMORY_BACKING_STORE_HH
 
-#include <unordered_map>
-
 #include "sim/stats.hh"
+#include "util/flat_map.hh"
 #include "util/types.hh"
 
 namespace dir2b
@@ -49,7 +48,7 @@ class BackingStore
     std::uint64_t writes() const { return writes_.value(); }
 
   private:
-    std::unordered_map<Addr, Value> data_;
+    FlatMap<Addr, Value> data_;
     Counter reads_;
     Counter writes_;
 };

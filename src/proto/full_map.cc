@@ -18,11 +18,7 @@ FullMapEntry &
 FullMapProtocol::entryFor(Addr a)
 {
     onDirectoryTouch(a);
-    auto it = map_.find(a);
-    if (it == map_.end()) {
-        it = map_.emplace(a, FullMapEntry(cfg_.numProcs)).first;
-    }
-    return it->second;
+    return map_.tryEmplace(a, cfg_.numProcs).first->second;
 }
 
 const FullMapEntry *

@@ -15,11 +15,10 @@
 #ifndef DIR2B_PROTO_FULL_MAP_HH
 #define DIR2B_PROTO_FULL_MAP_HH
 
-#include <unordered_map>
-
 #include "net/message.hh"
 #include "proto/protocol.hh"
 #include "util/bitset.hh"
+#include "util/flat_map.hh"
 
 namespace dir2b
 {
@@ -81,7 +80,7 @@ class FullMapProtocol : public Protocol
     void replaceVictim(ProcId k, Addr a);
 
   private:
-    std::unordered_map<Addr, FullMapEntry> map_;
+    FlatMap<Addr, FullMapEntry> map_;
 };
 
 } // namespace dir2b

@@ -12,10 +12,7 @@ FullMapLocalProtocol::FullMapLocalProtocol(const ProtoConfig &cfg)
 LocalMapEntry &
 FullMapLocalProtocol::entryFor(Addr a)
 {
-    auto it = map_.find(a);
-    if (it == map_.end())
-        it = map_.emplace(a, LocalMapEntry(cfg_.numProcs)).first;
-    return it->second;
+    return map_.tryEmplace(a, cfg_.numProcs).first->second;
 }
 
 Value

@@ -20,11 +20,10 @@
 #ifndef DIR2B_PROTO_FULL_MAP_LOCAL_HH
 #define DIR2B_PROTO_FULL_MAP_LOCAL_HH
 
-#include <unordered_map>
-
 #include "net/message.hh"
 #include "proto/protocol.hh"
 #include "util/bitset.hh"
+#include "util/flat_map.hh"
 
 namespace dir2b
 {
@@ -73,7 +72,7 @@ class FullMapLocalProtocol : public Protocol
     void invalidateHolders(Addr a, LocalMapEntry &e, ProcId except);
     void replaceVictim(ProcId k, Addr a);
 
-    std::unordered_map<Addr, LocalMapEntry> map_;
+    FlatMap<Addr, LocalMapEntry> map_;
     std::uint64_t silentUpgrades_ = 0;
 };
 

@@ -27,13 +27,13 @@
 #include <functional>
 #include <list>
 #include <string>
-#include <unordered_map>
 
 #include "memory/backing_store.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "timed/timed_config.hh"
 #include "timed/timed_net.hh"
+#include "util/flat_map.hh"
 
 namespace dir2b
 {
@@ -147,7 +147,7 @@ class TimedDirCtrl
     void processInvAck(const Message &msg);
 
     std::list<Message> queue_;
-    std::unordered_map<Addr, Busy> busy_;
+    FlatMap<Addr, Busy> busy_;
     Tick busyUntil_ = 0;
     bool dispatchScheduled_ = false;
 };

@@ -8,10 +8,7 @@ namespace dir2b
 FmDirCtrl::Entry &
 FmDirCtrl::entryFor(Addr a)
 {
-    auto it = map_.find(a);
-    if (it == map_.end())
-        it = map_.emplace(a, Entry(cfg_.numProcs)).first;
-    return it->second;
+    return map_.tryEmplace(a, cfg_.numProcs).first->second;
 }
 
 const FmDirCtrl::Entry *

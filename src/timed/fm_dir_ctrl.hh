@@ -22,10 +22,9 @@
 #ifndef DIR2B_TIMED_FM_DIR_CTRL_HH
 #define DIR2B_TIMED_FM_DIR_CTRL_HH
 
-#include <unordered_map>
-
 #include "timed/dir_ctrl_base.hh"
 #include "util/bitset.hh"
+#include "util/flat_map.hh"
 
 namespace dir2b
 {
@@ -73,7 +72,7 @@ class FmDirCtrl : public TimedDirCtrl
     void finishRequest(ProcId k, Addr a, RW rw, Value data,
                        bool writeBack);
 
-    std::unordered_map<Addr, Entry> map_;
+    FlatMap<Addr, Entry> map_;
 };
 
 } // namespace dir2b

@@ -23,10 +23,9 @@
 #ifndef DIR2B_TIMED_YF_DIR_CTRL_HH
 #define DIR2B_TIMED_YF_DIR_CTRL_HH
 
-#include <unordered_map>
-
 #include "timed/dir_ctrl_base.hh"
 #include "util/bitset.hh"
+#include "util/flat_map.hh"
 
 namespace dir2b
 {
@@ -59,7 +58,7 @@ class YfDirCtrl : public TimedDirCtrl
     void invalidateHolders(Addr a, DynBitset &e, ProcId except,
                            std::function<void()> onAcked);
 
-    std::unordered_map<Addr, DynBitset> map_;
+    FlatMap<Addr, DynBitset> map_;
 };
 
 } // namespace dir2b

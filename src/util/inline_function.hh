@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Small-buffer-optimised, move-only callable for the event kernel.
+ *
+ * std::function heap-allocates any capture larger than its (tiny,
+ * implementation-defined) internal buffer and drags in RTTI and copy
+ * machinery the simulator never uses.  Every event callback in dir2b
+ * is invoked exactly once, never copied, and captures a handful of
+ * words (a controller pointer, a Message, an address), so the kernel
+ * stores callables inline in the event node itself.
+ *
+ * InlineFunction is deliberately minimal: void() signature, move-only,
+ * a fixed inline capacity, and a heap fallback for oversized captures
+ * (counted globally so tests can assert the hot paths never take it).
+ */
+
+#ifndef DIR2B_UTIL_INLINE_FUNCTION_HH
+#define DIR2B_UTIL_INLINE_FUNCTION_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dir2b
+{
+
+namespace detail
+{
+
+/** Process-wide count of captures that exceeded the inline buffer.
+ *  Atomic because parallel sweeps run one EventQueue per thread. */
+inline std::atomic<std::uint64_t> inlineFnHeapFallbacks{0};
+
+} // namespace detail
+
+/** Move-only void() callable with Capacity bytes of inline storage. */
+template <std::size_t Capacity>
+class InlineFunction
+{
+  public:
+    InlineFunction() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFunction>>>
+    InlineFunction(F &&f)
+    {
+        assign(std::forward<F>(f));
+    }
+
+    InlineFunction(InlineFunction &&other) noexcept { moveFrom(other); }
+
+    InlineFunction &
+    operator=(InlineFunction &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFunction>>>
+    InlineFunction &
+    operator=(F &&f)
+    {
+        destroy();
+        assign(std::forward<F>(f));
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction() { destroy(); }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    /** Invoke the stored callable (must be non-empty). */
+    void
+    operator()()
+    {
+        ops_->invoke(target());
+    }
+
+    /** Drop the stored callable, returning to the empty state. */
+    void
+    reset()
+    {
+        destroy();
+        ops_ = nullptr;
+    }
+
+    static constexpr std::size_t capacity() { return Capacity; }
+
+    /** Captures that were too large for the inline buffer so far. */
+    static std::uint64_t
+    heapFallbacks()
+    {
+        return detail::inlineFnHeapFallbacks.load(
+            std::memory_order_relaxed);
+    }
+
+  private:
+    /** Manual vtable: one static instance per stored callable type. */
+    struct Ops
+    {
+        void (*invoke)(void *);
+        /** Move the callable between nodes; src is left destroyed. */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *);
+        bool heap;
+    };
+
+    template <typename F>
+    static constexpr Ops
+    makeInlineOps()
+    {
+        return Ops{
+            [](void *p) { (*static_cast<F *>(p))(); },
+            [](void *dst, void *src) {
+                ::new (dst) F(std::move(*static_cast<F *>(src)));
+                static_cast<F *>(src)->~F();
+            },
+            [](void *p) { static_cast<F *>(p)->~F(); },
+            false,
+        };
+    }
+
+    template <typename F>
+    static constexpr Ops
+    makeHeapOps()
+    {
+        return Ops{
+            [](void *p) { (**static_cast<F **>(p))(); },
+            [](void *dst, void *src) {
+                *static_cast<F **>(dst) = *static_cast<F **>(src);
+            },
+            [](void *p) { delete *static_cast<F **>(p); },
+            true,
+        };
+    }
+
+    template <typename F>
+    void
+    assign(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(std::is_invocable_v<Fn &>,
+                      "InlineFunction target must be callable");
+        if constexpr (sizeof(Fn) <= Capacity &&
+                      alignof(Fn) <= alignof(std::max_align_t)) {
+            static constexpr Ops ops = makeInlineOps<Fn>();
+            ::new (target()) Fn(std::forward<F>(f));
+            ops_ = &ops;
+        } else {
+            static constexpr Ops ops = makeHeapOps<Fn>();
+            *reinterpret_cast<Fn **>(buf_) =
+                new Fn(std::forward<F>(f));
+            ops_ = &ops;
+            detail::inlineFnHeapFallbacks.fetch_add(
+                1, std::memory_order_relaxed);
+        }
+    }
+
+    void *target() { return buf_; }
+
+    void
+    destroy()
+    {
+        if (ops_)
+            ops_->destroy(target());
+    }
+
+    void
+    moveFrom(InlineFunction &other) noexcept
+    {
+        ops_ = other.ops_;
+        if (ops_)
+            ops_->relocate(target(), other.target());
+        other.ops_ = nullptr;
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[Capacity];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace dir2b
+
+#endif // DIR2B_UTIL_INLINE_FUNCTION_HH

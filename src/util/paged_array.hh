@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Sparse array of trivially-copyable elements, stored in dense pages.
+ *
+ * The two-bit directory's natural shape is a dense array indexed by
+ * block number — the paper's whole point is that the entry is two
+ * bits, so the directory should cost array indexing, not hashing.
+ * Address spaces are sparse, though, so pages (2^PageBits elements)
+ * materialise on first write and untouched regions cost nothing.
+ *
+ * The page directory is a FlatMap from page index to page slot, so a
+ * lookup is one cheap hash probe plus one dense index — and repeated
+ * touches to the same page (the common case: reference streams are
+ * local) hit a one-entry inline cache and skip the probe entirely.
+ */
+
+#ifndef DIR2B_UTIL_PAGED_ARRAY_HH
+#define DIR2B_UTIL_PAGED_ARRAY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "util/flat_map.hh"
+
+namespace dir2b
+{
+
+/** Sparse array of T in dense zero-initialised pages. */
+template <typename T, unsigned PageBits>
+class PagedArray
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "PagedArray elements must be trivially copyable");
+
+  public:
+    static constexpr std::size_t pageElems = std::size_t{1} << PageBits;
+
+    /** Element at idx, or a value-initialised T if never touched. */
+    T
+    get(std::uint64_t idx) const
+    {
+        const T *page = findPage(idx >> PageBits);
+        return page ? page[idx & (pageElems - 1)] : T{};
+    }
+
+    /** Mutable element at idx; materialises its page zero-filled. */
+    T &
+    ref(std::uint64_t idx)
+    {
+        return materialise(idx >> PageBits)[idx & (pageElems - 1)];
+    }
+
+    /** Number of materialised pages. */
+    std::size_t pageCount() const { return pages_.size(); }
+
+  private:
+    const T *
+    findPage(std::uint64_t pageIdx) const
+    {
+        if (pageIdx == cachedIdx_)
+            return cached_;
+        auto it = dir_.find(pageIdx);
+        if (it == dir_.end())
+            return nullptr;
+        cachedIdx_ = pageIdx;
+        cached_ = pages_[it->second].get();
+        return cached_;
+    }
+
+    T *
+    materialise(std::uint64_t pageIdx)
+    {
+        if (pageIdx == cachedIdx_)
+            return const_cast<T *>(cached_);
+        auto [it, fresh] = dir_.tryEmplace(pageIdx, pages_.size());
+        if (fresh) {
+            pages_.push_back(std::make_unique<T[]>(pageElems));
+        }
+        cachedIdx_ = pageIdx;
+        cached_ = pages_[it->second].get();
+        return pages_[it->second].get();
+    }
+
+    FlatMap<std::uint64_t, std::size_t> dir_;
+    std::vector<std::unique_ptr<T[]>> pages_;
+
+    /** One-entry lookup cache (page pointers are stable). */
+    mutable std::uint64_t cachedIdx_ = ~std::uint64_t{0};
+    mutable const T *cached_ = nullptr;
+};
+
+} // namespace dir2b
+
+#endif // DIR2B_UTIL_PAGED_ARRAY_HH

@@ -5,9 +5,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "util/random.hh"
 
 namespace dir2b
 {
@@ -85,6 +91,202 @@ TEST(EventQueue, ResetRestoresPristineState)
     eq.scheduleAt(1, [&] { ran = true; });
     eq.run();
     EXPECT_TRUE(ran);
+}
+
+/** Callable that counts copies, moves, and live instances. */
+struct CountingCallback
+{
+    int *copies;
+    int *alive;
+    int *fired;
+
+    CountingCallback(int *c, int *a, int *f)
+        : copies(c), alive(a), fired(f)
+    {
+        ++*alive;
+    }
+    CountingCallback(const CountingCallback &o)
+        : copies(o.copies), alive(o.alive), fired(o.fired)
+    {
+        ++*copies;
+        ++*alive;
+    }
+    CountingCallback(CountingCallback &&o) noexcept
+        : copies(o.copies), alive(o.alive), fired(o.fired)
+    {
+        ++*alive;
+    }
+    ~CountingCallback() { --*alive; }
+    void operator()() { ++*fired; }
+};
+
+TEST(EventQueue, RunNeverCopiesTheCallback)
+{
+    // The pre-rewrite kernel copied the whole heap entry (and with it
+    // the std::function) on every pop; the arena kernel must only
+    // ever move callbacks.
+    int copies = 0;
+    int alive = 0;
+    int fired = 0;
+    EventQueue eq;
+    for (int i = 0; i < 100; ++i)
+        eq.schedule(static_cast<Tick>(i % 11),
+                    CountingCallback(&copies, &alive, &fired));
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(fired, 100);
+    EXPECT_EQ(copies, 0);
+    EXPECT_EQ(alive, 0);
+}
+
+TEST(EventQueue, AcceptsMoveOnlyCallbacks)
+{
+    // Compile-time proof there is no copy path at all: a capture
+    // holding unique_ptr would reject the old std::function storage.
+    EventQueue eq;
+    auto payload = std::make_unique<int>(42);
+    int seen = 0;
+    eq.schedule(3, [p = std::move(payload), &seen] { seen = *p; });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(seen, 42);
+}
+
+TEST(EventQueue, CascadeRestoresFifoAgainstDirectInserts)
+{
+    // Event A is scheduled far ahead (lands in a level>=1 bucket);
+    // event B is scheduled later for the SAME tick from close range
+    // (direct level-0 insert).  When A's bucket cascades it appends
+    // behind B, so the kernel must re-sort the slot by sequence
+    // number: A was scheduled first and must fire first.
+    EventQueue eq;
+    std::vector<char> order;
+    eq.scheduleAt(5000, [&] { order.push_back('A'); });
+    eq.scheduleAt(4990, [&] {
+        eq.scheduleAt(5000, [&] { order.push_back('B'); });
+    });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<char>{'A', 'B'}));
+}
+
+TEST(EventQueue, StaticDifferentialAgainstStableSort)
+{
+    // Random times spanning every wheel level and the overflow tier;
+    // the kernel must fire them exactly in stable (when, seq) order.
+    EventQueue eq;
+    Rng rng(0xeafe11);
+    std::vector<std::pair<Tick, int>> expect;
+    std::vector<int> got;
+    const Tick spans[] = {1,    7,      63,     64,      100,
+                          4095, 4096,   262143, 262144,  999999,
+                          (Tick{1} << 24) - 1, Tick{1} << 24,
+                          (Tick{1} << 24) + 12345, Tick{1} << 30};
+    for (int i = 0; i < 2000; ++i) {
+        const Tick when = rng.range(spans[rng.range(14)]);
+        expect.emplace_back(when, i);
+        eq.scheduleAt(when, [&got, i] { got.push_back(i); });
+    }
+    std::stable_sort(expect.begin(), expect.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    EXPECT_TRUE(eq.run());
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i], expect[i].second) << "position " << i;
+    EXPECT_EQ(eq.executed(), 2000u);
+}
+
+TEST(EventQueue, DynamicChainsAcrossAllLevels)
+{
+    // Self-rescheduling chains with pseudo-random delays: time must
+    // never go backwards and every event must be accounted for.
+    EventQueue eq;
+    Rng rng(0xc4a1);
+    Tick last = 0;
+    std::uint64_t fired = 0;
+    bool monotonic = true;
+    std::function<void()> hop = [&] {
+        if (eq.now() < last)
+            monotonic = false;
+        last = eq.now();
+        ++fired;
+        if (fired < 5000) {
+            const Tick delays[] = {0, 1, 5, 63, 64, 700, 4096, 50000,
+                                   262144, Tick{1} << 24};
+            eq.schedule(delays[rng.range(10)], hop);
+        }
+    };
+    for (int c = 0; c < 4; ++c)
+        eq.schedule(static_cast<Tick>(c), hop);
+    EXPECT_TRUE(eq.run());
+    EXPECT_TRUE(monotonic);
+    EXPECT_EQ(fired, 5003u);
+}
+
+TEST(EventQueue, ZeroDelayDuringDrainRunsSameTick)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAt(10, [&] {
+        order.push_back(1);
+        eq.schedule(0, [&] {
+            order.push_back(2);
+            eq.schedule(0, [&] { order.push_back(3); });
+        });
+    });
+    eq.scheduleAt(11, [&] { order.push_back(4); });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventQueue, BudgetExpiryMidTickPreservesOrder)
+{
+    // Ten same-tick events, budget for three: the remaining seven
+    // must survive and still fire in FIFO order on the next run().
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.scheduleAt(5, [&order, i] { order.push_back(i); });
+    EXPECT_FALSE(eq.run(3));
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(eq.pending(), 7u);
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order,
+              (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(EventQueue, ResetDestroysPendingCallbacks)
+{
+    int copies = 0;
+    int alive = 0;
+    int fired = 0;
+    EventQueue eq;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(static_cast<Tick>(1 + i * 1000),
+                    CountingCallback(&copies, &alive, &fired));
+    eq.reset();
+    EXPECT_EQ(alive, 0);
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, HotPathCapturesStayInline)
+{
+    const std::uint64_t before = EventQueue::Callback::heapFallbacks();
+    EventQueue eq;
+    struct
+    {
+        void *self;
+        unsigned src, dst;
+        unsigned char msg[40];
+    } payload = {};
+    int hits = 0;
+    eq.schedule(1, [payload, &hits] {
+        ++hits;
+        (void)payload;
+    });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(hits, 1);
+    EXPECT_EQ(EventQueue::Callback::heapFallbacks(), before);
 }
 
 } // namespace

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Regenerate the committed engineering-perf baseline (BENCH_4.json).
+#
+# Runs the google-benchmark suite in bench_throughput with JSON output
+# and aggregate statistics so the artifact is stable enough to eyeball
+# regressions against.  The committed baseline MUST be produced from
+# the default build configuration — CMAKE_BUILD_TYPE=RelWithDebInfo,
+# DIR2B_NATIVE=OFF, DIR2B_LTO=OFF — so numbers stay comparable across
+# PRs (see docs/PERFORMANCE.md).  The artifact is informational, not a
+# CI gate: machines differ; the trajectory matters, not the third
+# digit.
+#
+# Usage: tools/run_bench_baseline.sh [build-dir] [out.json]
+
+set -eu
+
+build=${1:-build}
+out=${2:-BENCH_4.json}
+
+"$build/bench/bench_throughput" \
+    --benchmark_repetitions=3 \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_out="$out" \
+    --benchmark_out_format=json
+
+echo "wrote $out"
