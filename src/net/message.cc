@@ -7,8 +7,8 @@
 namespace dir2b
 {
 
-std::string
-toString(MsgKind kind)
+const char *
+mnemonic(MsgKind kind)
 {
     switch (kind) {
       case MsgKind::Request:
@@ -35,6 +35,12 @@ toString(MsgKind kind)
         return "INVACK";
     }
     DIR2B_PANIC("unknown MsgKind ", static_cast<int>(kind));
+}
+
+std::string
+toString(MsgKind kind)
+{
+    return mnemonic(kind);
 }
 
 std::string

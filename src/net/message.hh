@@ -94,6 +94,14 @@ struct Message
     bool broadcast = false;
 };
 
+/**
+ * Mnemonic (paper spelling) for a message kind, as a string literal
+ * with static storage duration.  The trace recorder stores event names
+ * as borrowed `const char *`, so the allocation-free spelling is the
+ * one the record path must use.
+ */
+const char *mnemonic(MsgKind kind);
+
 /** Mnemonic (paper spelling) for a message kind. */
 std::string toString(MsgKind kind);
 

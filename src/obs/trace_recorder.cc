@@ -1,0 +1,131 @@
+#include "obs/trace_recorder.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace dir2b
+{
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+{
+    DIR2B_ASSERT(capacity > 0, "trace ring needs capacity > 0");
+    ring_.resize(capacity);
+}
+
+std::uint32_t
+TraceRecorder::addTrack(std::string name)
+{
+    trackNames_.push_back(std::move(name));
+    stacks_.resize(trackNames_.size() * maxDepth);
+    depth_.push_back(0);
+    return static_cast<std::uint32_t>(trackNames_.size() - 1);
+}
+
+TraceRecorder::Event &
+TraceRecorder::push()
+{
+    Event &e = ring_[head_];
+    head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+    if (count_ < ring_.size())
+        ++count_;
+    ++recorded_;
+    return e;
+}
+
+void
+TraceRecorder::instant(Tick t, std::uint32_t track, const char *name,
+                       Addr addr, std::uint64_t arg0, std::uint64_t arg1)
+{
+    Event &e = push();
+    e = Event{t, t, name, addr, arg0, arg1, track, Ev::Instant};
+}
+
+void
+TraceRecorder::complete(Tick start, Tick end, std::uint32_t track,
+                        const char *name, Addr addr, std::uint64_t arg0,
+                        std::uint64_t arg1)
+{
+    Event &e = push();
+    e = Event{start, end, name, addr, arg0, arg1, track, Ev::Span};
+}
+
+void
+TraceRecorder::counter(Tick t, std::uint32_t track, const char *name,
+                       std::uint64_t value)
+{
+    Event &e = push();
+    e = Event{t, t, name, invalidAddr, value, 0, track, Ev::Counter};
+}
+
+void
+TraceRecorder::begin(Tick t, std::uint32_t track, const char *name,
+                     Addr addr, std::uint64_t arg0)
+{
+    std::uint8_t &d = depth_.at(track);
+    if (d >= maxDepth) {
+        ++overflowedSpans_;
+        return;
+    }
+    stacks_[track * maxDepth + d] = Open{name, t, addr, arg0};
+    ++d;
+}
+
+bool
+TraceRecorder::end(Tick t, std::uint32_t track, const char *name)
+{
+    std::uint8_t &d = depth_.at(track);
+    if (d == 0) {
+        ++mismatchedEnds_;
+        return false;
+    }
+    const Open &o = stacks_[track * maxDepth + (d - 1)];
+    // Names are usually the same literal, but compare contents so
+    // matching across translation units cannot silently fail.
+    if (o.name != name && std::strcmp(o.name, name) != 0) {
+        ++mismatchedEnds_;
+        return false;
+    }
+    --d;
+    complete(o.start, t, track, o.name, o.addr, o.arg0);
+    return true;
+}
+
+void
+TraceRecorder::note(Tick t, std::uint32_t track, const std::string &text)
+{
+    notes_.push_back(text);
+    instant(t, track, notes_.back().c_str());
+}
+
+const TraceRecorder::Event &
+TraceRecorder::at(std::size_t i) const
+{
+    DIR2B_ASSERT(i < count_, "trace event index out of range");
+    const std::size_t oldest = (head_ + ring_.size() - count_)
+                               % ring_.size();
+    return ring_[(oldest + i) % ring_.size()];
+}
+
+std::size_t
+TraceRecorder::openSpans() const
+{
+    std::size_t n = 0;
+    for (auto d : depth_)
+        n += d;
+    return n;
+}
+
+void
+TraceRecorder::clear()
+{
+    head_ = 0;
+    count_ = 0;
+    recorded_ = 0;
+    mismatchedEnds_ = 0;
+    overflowedSpans_ = 0;
+    std::fill(depth_.begin(), depth_.end(), 0);
+    notes_.clear();
+}
+
+} // namespace dir2b

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Low-overhead ring-buffer trace recorder for the timed tier.
+ *
+ * The recorder captures *spans* (phases with a start and end tick),
+ * *instant* events (Table 3-1 commands on the wire, protocol
+ * decisions), and *counter* samples (queue depths) into a
+ * fixed-capacity ring of POD records.  Design constraints:
+ *
+ *  - Zero heap allocation on the record path.  Event names are
+ *    borrowed `const char *` string literals (or other
+ *    static-duration strings); the ring is sized once at
+ *    construction.  The only allocating entry point is note(),
+ *    which exists to absorb LogLevel::Debug messages — a mode that
+ *    already allocates per message.
+ *
+ *  - Compiled out entirely when tracing is disabled.  Call sites in
+ *    the timed tier go through the DIR2B_TRC() macro below, which
+ *    expands to `((void)0)` unless the build defines DIR2B_TRACE
+ *    (CMake option DIR2B_TRACING, ON by default).  With tracing
+ *    compiled in but no recorder attached (TimedConfig::tracer ==
+ *    nullptr), the residual cost is one null check per site.
+ *
+ *  - Determinism-neutral.  Recording never schedules events, never
+ *    consults wall-clock time, and never touches simulation state;
+ *    golden stats digests are bit-identical with tracing on or off
+ *    (tests/test_obs.cc proves it).
+ *
+ * The ring overwrites the oldest events when full (dropped() counts
+ * casualties), so a bounded recorder can watch an unbounded run and
+ * keep the most recent window — the useful one when chasing a bug
+ * at the end of a trace.
+ */
+
+#ifndef DIR2B_OBS_TRACE_RECORDER_HH
+#define DIR2B_OBS_TRACE_RECORDER_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace dir2b
+{
+
+/** True when the instrumentation call sites are compiled in. */
+#if defined(DIR2B_TRACE) && DIR2B_TRACE
+inline constexpr bool traceCompiledIn = true;
+#else
+inline constexpr bool traceCompiledIn = false;
+#endif
+
+class TraceRecorder
+{
+  public:
+    /** What one ring record represents. */
+    enum class Ev : std::uint8_t
+    {
+        Span,    ///< [start, end] phase on a track
+        Instant, ///< point event at start (end unused)
+        Counter, ///< value sample: arg0 = value at tick start
+    };
+
+    /** One recorded event.  POD; names are borrowed, never owned. */
+    struct Event
+    {
+        Tick start = 0;
+        Tick end = 0;
+        const char *name = nullptr;
+        Addr addr = invalidAddr;
+        std::uint64_t arg0 = 0;
+        std::uint64_t arg1 = 0;
+        std::uint32_t track = 0;
+        Ev type = Ev::Instant;
+    };
+
+    /** @param capacity ring size in events (power of two not required) */
+    explicit TraceRecorder(std::size_t capacity = std::size_t(1) << 18);
+
+    /**
+     * Register a named track (one per controller; setup time, so the
+     * std::string allocation is fine).  Returns the track id to pass
+     * to the record calls.
+     */
+    std::uint32_t addTrack(std::string name);
+    const std::vector<std::string> &tracks() const { return trackNames_; }
+
+    // ------------------------------------------------------------------
+    // Record path: no allocation, no branches beyond the ring index.
+    // ------------------------------------------------------------------
+
+    /** Point event (a command on the wire, a protocol decision). */
+    void instant(Tick t, std::uint32_t track, const char *name,
+                 Addr addr = invalidAddr, std::uint64_t arg0 = 0,
+                 std::uint64_t arg1 = 0);
+
+    /**
+     * Span whose duration is already known — the natural shape in a
+     * discrete-event simulator, where busy windows are scheduled
+     * ahead of time (end may be in the simulated future).
+     */
+    void complete(Tick start, Tick end, std::uint32_t track,
+                  const char *name, Addr addr = invalidAddr,
+                  std::uint64_t arg0 = 0, std::uint64_t arg1 = 0);
+
+    /** Counter sample (e.g. queue depth after a mutation). */
+    void counter(Tick t, std::uint32_t track, const char *name,
+                 std::uint64_t value);
+
+    /**
+     * Open a nested span on a track.  Spans on one track must nest
+     * (Perfetto's model); a fixed per-track stack (depth maxDepth)
+     * pairs each end() with its begin() and flags mismatches instead
+     * of emitting garbage.
+     */
+    void begin(Tick t, std::uint32_t track, const char *name,
+               Addr addr = invalidAddr, std::uint64_t arg0 = 0);
+
+    /**
+     * Close the innermost open span on a track.  @p name must match
+     * the open span's name; on mismatch (or no open span) nothing is
+     * emitted, mismatchedEnds() increments, and false is returned.
+     */
+    bool end(Tick t, std::uint32_t track, const char *name);
+
+    /**
+     * Instant event with an owned string payload — the LogLevel::Debug
+     * routing entry point.  Allocates (debug mode already does).
+     */
+    void note(Tick t, std::uint32_t track, const std::string &text);
+
+    // ------------------------------------------------------------------
+    // Inspection (exporter + tests).
+    // ------------------------------------------------------------------
+
+    /** Events currently held (<= capacity), oldest first via at(). */
+    std::size_t size() const { return count_; }
+    std::size_t capacity() const { return ring_.size(); }
+    /** i-th held event, 0 = oldest surviving. */
+    const Event &at(std::size_t i) const;
+
+    /** Total events accepted (including ones later overwritten). */
+    std::uint64_t recorded() const { return recorded_; }
+    /** Events lost to ring wrap. */
+    std::uint64_t dropped() const
+    {
+        return recorded_ - count_;
+    }
+    /** end() calls that did not match an open begin(). */
+    std::uint64_t mismatchedEnds() const { return mismatchedEnds_; }
+    /** begin() calls dropped because a track's stack was full. */
+    std::uint64_t overflowedSpans() const { return overflowedSpans_; }
+    /** Spans currently open (begun, not yet ended) across tracks. */
+    std::size_t openSpans() const;
+
+    void clear();
+
+    /** Per-track span nesting limit. */
+    static constexpr std::size_t maxDepth = 16;
+
+  private:
+    struct Open
+    {
+        const char *name;
+        Tick start;
+        Addr addr;
+        std::uint64_t arg0;
+    };
+
+    Event &push();
+
+    std::vector<Event> ring_;
+    std::size_t head_ = 0; ///< next write slot
+    std::size_t count_ = 0;
+    std::uint64_t recorded_ = 0;
+    std::uint64_t mismatchedEnds_ = 0;
+    std::uint64_t overflowedSpans_ = 0;
+
+    std::vector<std::string> trackNames_;
+    /** Per-track stacks of open spans; flat, maxDepth slots each. */
+    std::vector<Open> stacks_;
+    std::vector<std::uint8_t> depth_;
+
+    /** Owned storage for note() payloads (stable addresses). */
+    std::deque<std::string> notes_;
+};
+
+} // namespace dir2b
+
+/**
+ * Guarded record call: DIR2B_TRC(trc_, instant(now, trk_, "x")) emits
+ * `if (trc_) trc_->instant(...)` when tracing is compiled in and
+ * nothing at all otherwise — arguments are not even evaluated, so
+ * tracing-off builds carry no trace code or data flow.
+ */
+#if defined(DIR2B_TRACE) && DIR2B_TRACE
+#define DIR2B_TRC(rec, call)                                              \
+    do {                                                                  \
+        if (rec)                                                          \
+            (rec)->call;                                                  \
+    } while (0)
+#else
+#define DIR2B_TRC(rec, call) ((void)0)
+#endif
+
+#endif // DIR2B_OBS_TRACE_RECORDER_HH

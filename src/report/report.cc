@@ -91,6 +91,9 @@ class JsonStatVisitor : public StatVisitor
         e.set("mean", h.mean());
         e.set("min", static_cast<unsigned long long>(h.min()));
         e.set("max", static_cast<unsigned long long>(h.max()));
+        e.set("p50", static_cast<unsigned long long>(h.p50()));
+        e.set("p95", static_cast<unsigned long long>(h.p95()));
+        e.set("p99", static_cast<unsigned long long>(h.p99()));
         e.set("bucketWidth",
               static_cast<unsigned long long>(h.bucketWidth()));
         Json buckets = Json::array();
@@ -134,6 +137,102 @@ statGroupToJson(const StatGroup &g)
     j.set("group", g.name());
     j.set("stats", std::move(v.out));
     return j;
+}
+
+Json
+histogramSummaryJson(const Histogram &h)
+{
+    Json j = Json::object();
+    j.set("samples", static_cast<unsigned long long>(h.samples()));
+    j.set("mean", h.mean());
+    j.set("min", static_cast<unsigned long long>(h.min()));
+    j.set("max", static_cast<unsigned long long>(h.max()));
+    j.set("p50", static_cast<unsigned long long>(h.p50()));
+    j.set("p95", static_cast<unsigned long long>(h.p95()));
+    j.set("p99", static_cast<unsigned long long>(h.p99()));
+    return j;
+}
+
+namespace
+{
+
+/** v2 rule: percentile fields present and numeric on an object. */
+std::string
+checkPercentiles(const Json &obj, const std::string &where)
+{
+    for (const char *key : {"p50", "p95", "p99"}) {
+        if (!obj.contains(key))
+            return where + " lacks '" + key + "' (schema_version >= 2)";
+        if (!obj.at(key).isNumber())
+            return where + ": '" + key + "' is not numeric";
+    }
+    return "";
+}
+
+} // namespace
+
+std::string
+validateSweepArtifact(const Json &a)
+{
+    if (!a.isObject())
+        return "top level is not an object";
+    for (const char *key : {"schema", "schema_version", "bench",
+                            "cells", "meta"})
+        if (!a.contains(key))
+            return std::string("missing required field '") + key + "'";
+    if (!a.at("schema").isString())
+        return "'schema' is not a string";
+    const std::string schema = a.at("schema").asString();
+    if (schema != reportSchemaName && schema != checkSchemaName)
+        return "schema is '" + schema + "', expected '" +
+               reportSchemaName + "' or '" + checkSchemaName + "'";
+    if (!a.at("schema_version").isNumber())
+        return "'schema_version' is not numeric";
+    const auto version = a.at("schema_version").asInt();
+    if (version < 1 || version > reportSchemaVersion)
+        return "unsupported schema_version " + std::to_string(version);
+    if (!a.at("cells").isArray())
+        return "'cells' is not an array";
+
+    std::size_t idx = 0;
+    for (const Json &cell : a.at("cells").elements()) {
+        const std::string where = "cell " + std::to_string(idx);
+        if (!cell.isObject() || !cell.contains("section") ||
+            !cell.at("section").isString())
+            return where + " lacks a 'section' string";
+        if (version >= 2) {
+            // Distribution objects carry percentiles from v2 on: any
+            // member named "latency", and any stat entry whose kind is
+            // "histogram" (inside a "stats" array, statGroupToJson
+            // shape).
+            if (cell.contains("latency")) {
+                if (!cell.at("latency").isObject())
+                    return where + ": 'latency' is not an object";
+                if (auto err = checkPercentiles(cell.at("latency"),
+                                                where + " latency");
+                    !err.empty())
+                    return err;
+            }
+            if (cell.contains("stats") && cell.at("stats").isArray()) {
+                for (const Json &s : cell.at("stats").elements()) {
+                    if (!s.isObject() || !s.contains("kind") ||
+                        !s.at("kind").isString() ||
+                        s.at("kind").asString() != "histogram")
+                        continue;
+                    if (auto err = checkPercentiles(
+                            s, where + " histogram stat");
+                        !err.empty())
+                        return err;
+                }
+            }
+        }
+        ++idx;
+    }
+    const Json &meta = a.at("meta");
+    if (!meta.isObject() || !meta.contains("threads") ||
+        !meta.contains("wall_ms"))
+        return "malformed 'meta' block";
+    return "";
 }
 
 Json

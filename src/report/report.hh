@@ -37,8 +37,10 @@ namespace dir2b
 {
 
 /** Version of the artifact layout; bump on any incompatible change
- *  and record the change in docs/METRICS.md. */
-constexpr int reportSchemaVersion = 1;
+ *  and record the change in docs/METRICS.md.
+ *  v2: histogram stat entries and "latency" summary objects carry
+ *  p50/p95/p99 percentile fields. */
+constexpr int reportSchemaVersion = 2;
 
 /** The "schema" discriminator string. */
 constexpr const char *reportSchemaName = "dir2b.sweep";
@@ -57,6 +59,19 @@ Json runResultToJson(const RunResult &r);
 
 /** A StatGroup: every entry with its kind, value(s) and description. */
 Json statGroupToJson(const StatGroup &g);
+
+/** Compact distribution summary (samples/mean/min/max/p50/p95/p99) —
+ *  the shape sweep cells use for latency objects. */
+Json histogramSummaryJson(const Histogram &h);
+
+/**
+ * Structural validation of a parsed dir2b.sweep / dir2b.check
+ * document.  Returns "" when valid, else a one-line description of
+ * the first problem.  Shared by tools/check_artifact and the fixture
+ * tests; dir2b.trace documents have their own validator in
+ * obs/chrome_trace.hh.
+ */
+std::string validateSweepArtifact(const Json &doc);
 
 /**
  * Assemble a schema-stamped artifact.  `params` and `summary` may be

@@ -50,6 +50,22 @@ Histogram::percentile(double frac) const
 }
 
 void
+Histogram::merge(const Histogram &other)
+{
+    DIR2B_ASSERT(bucketWidth_ == other.bucketWidth_ &&
+                     buckets_.size() == other.buckets_.size(),
+                 "histogram merge requires identical geometry");
+    if (other.count_ == 0)
+        return;
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
 Histogram::reset()
 {
     std::fill(buckets_.begin(), buckets_.end(), 0);

@@ -82,6 +82,17 @@ class Histogram
     /** Smallest v such that at least frac of samples are <= v. */
     std::uint64_t percentile(double frac) const;
 
+    std::uint64_t p50() const { return percentile(0.50); }
+    std::uint64_t p95() const { return percentile(0.95); }
+    std::uint64_t p99() const { return percentile(0.99); }
+
+    /**
+     * Fold another histogram of identical geometry (bucket width and
+     * count) into this one — cross-shard / cross-controller
+     * aggregation for sweep summaries.  Panics on geometry mismatch.
+     */
+    void merge(const Histogram &other);
+
     void reset();
 
   private:

@@ -15,6 +15,10 @@ TwoBitCacheCtrl::TwoBitCacheCtrl(ProcId id, const TimedConfig &cfg,
 {
     if (cfg.snoopFilter)
         snoop_.emplace();
+#if DIR2B_TRACE
+    if ((trc_ = cfg.tracer))
+        trk_ = trc_->addTrack("cache" + std::to_string(id));
+#endif
 }
 
 unsigned
@@ -48,6 +52,7 @@ void
 TwoBitCacheCtrl::complete(Value v)
 {
     DIR2B_ASSERT(txn_, "completing with no transaction");
+    DIR2B_TRC(trc_, end(eq_.now(), trk_, txn_->op));
     stats_.latency.sample(eq_.now() - txn_->start);
     Done done = std::move(txn_->done);
     txn_.reset();
@@ -68,6 +73,8 @@ TwoBitCacheCtrl::processorRequest(const MemRef &ref, Value wval,
     if (l) {
         if (!ref.write) {
             ++stats_.readHits;
+            txn_->op = "read_hit";
+            DIR2B_TRC(trc_, begin(eq_.now(), trk_, txn_->op, ref.addr));
             txn_->phase = Phase::Completing;
             const Value v = l->value;
             eq_.schedule(cfg_.cacheLatency, [this, v] { complete(v); });
@@ -75,6 +82,8 @@ TwoBitCacheCtrl::processorRequest(const MemRef &ref, Value wval,
         }
         if (l->dirty()) {
             ++stats_.writeHits;
+            txn_->op = "write_hit";
+            DIR2B_TRC(trc_, begin(eq_.now(), trk_, txn_->op, ref.addr));
             txn_->phase = Phase::Completing;
             l->value = wval;
             eq_.schedule(cfg_.cacheLatency,
@@ -84,6 +93,8 @@ TwoBitCacheCtrl::processorRequest(const MemRef &ref, Value wval,
         if (tryLocalWrite(l, wval)) {
             // Silent upgrade (Yen-Fu): no global transaction at all.
             ++stats_.writeHits;
+            txn_->op = "write_hit";
+            DIR2B_TRC(trc_, begin(eq_.now(), trk_, txn_->op, ref.addr));
             txn_->phase = Phase::Completing;
             eq_.schedule(cfg_.cacheLatency,
                          [this, wval] { complete(wval); });
@@ -93,6 +104,10 @@ TwoBitCacheCtrl::processorRequest(const MemRef &ref, Value wval,
         // §3.2.4: write hit on an unmodified block -> MREQUEST.
         ++stats_.writeHits;
         ++stats_.mrequests;
+        txn_->op = "upgrade";
+        txn_->phaseStart = eq_.now();
+        DIR2B_TRC(trc_, begin(eq_.now(), trk_, txn_->op, ref.addr));
+        DIR2B_TRC(trc_, begin(eq_.now(), trk_, "await_grant", ref.addr));
         txn_->phase = Phase::AwaitGrant;
         Message m;
         m.kind = MsgKind::MRequest;
@@ -102,10 +117,14 @@ TwoBitCacheCtrl::processorRequest(const MemRef &ref, Value wval,
         return;
     }
 
-    if (ref.write)
+    if (ref.write) {
         ++stats_.writeMisses;
-    else
+        txn_->op = "write_miss";
+    } else {
         ++stats_.readMisses;
+        txn_->op = "read_miss";
+    }
+    DIR2B_TRC(trc_, begin(eq_.now(), trk_, txn_->op, ref.addr));
     startMiss();
 }
 
@@ -138,6 +157,8 @@ TwoBitCacheCtrl::startMiss()
     rq.addr = ref.addr;
     rq.rw = ref.write ? RW::Write : RW::Read;
     txn_->phase = Phase::AwaitData;
+    txn_->phaseStart = eq_.now();
+    DIR2B_TRC(trc_, begin(eq_.now(), trk_, "await_data", ref.addr));
     sendToHome(ref.addr, rq);
 }
 
@@ -148,12 +169,19 @@ TwoBitCacheCtrl::convertToWriteMiss()
     // processor's next action is REQUEST(k, a, "write").  Our copy was
     // just invalidated, so the frame is free and no EJECT is needed.
     ++stats_.mrequestConversions;
+    stats_.grantWait.sample(eq_.now() - txn_->phaseStart);
+    DIR2B_TRC(trc_, end(eq_.now(), trk_, "await_grant"));
+    DIR2B_TRC(trc_, instant(eq_.now(), trk_, "convert_to_write_miss",
+                            txn_->ref.addr));
     Message rq;
     rq.kind = MsgKind::Request;
     rq.proc = id_;
     rq.addr = txn_->ref.addr;
     rq.rw = RW::Write;
     txn_->phase = Phase::AwaitData;
+    txn_->phaseStart = eq_.now();
+    DIR2B_TRC(trc_,
+              begin(eq_.now(), trk_, "await_data", txn_->ref.addr));
     sendToHome(txn_->ref.addr, rq);
 }
 
@@ -187,6 +215,8 @@ TwoBitCacheCtrl::onGetData(const Message &msg)
                      txn_->ref.addr == msg.addr,
                  "cache ", id_, " got unsolicited data for block ",
                  msg.addr);
+    stats_.dataWait.sample(eq_.now() - txn_->phaseStart);
+    DIR2B_TRC(trc_, end(eq_.now(), trk_, "await_data"));
     const bool write = txn_->ref.write;
     const Value v = write ? txn_->wval : msg.data;
     fillLine(msg.addr,
@@ -203,8 +233,12 @@ TwoBitCacheCtrl::onMGranted(const Message &msg)
         // Stale reply: the BROADINV that raced us already converted
         // this transaction into a write miss.
         ++stats_.staleGrantsIgnored;
+        DIR2B_TRC(trc_,
+                  instant(eq_.now(), trk_, "stale_grant", msg.addr));
         return;
     }
+    stats_.grantWait.sample(eq_.now() - txn_->phaseStart);
+    DIR2B_TRC(trc_, end(eq_.now(), trk_, "await_grant"));
     DIR2B_ASSERT(msg.granted,
                  "MGRANTED(false) while still holding a valid copy of ",
                  msg.addr, ": the BROADINV must arrive first (FIFO)");
@@ -240,6 +274,8 @@ TwoBitCacheCtrl::onBroadInv(const Message &msg)
                      "duplicate directory out of sync: filter absorbed "
                      "BROADINV for resident block ", msg.addr);
         ++stats_.filteredCmds;
+        DIR2B_TRC(trc_,
+                  instant(eq_.now(), trk_, "filtered", msg.addr));
         sendInvAck(msg.addr);
         return;
     }
@@ -261,6 +297,8 @@ TwoBitCacheCtrl::onBroadInv(const Message &msg)
                      msg.addr, " in cache ", id_);
         dropLine(msg.addr);
         ++stats_.invalidationsApplied;
+        DIR2B_TRC(trc_,
+                  instant(eq_.now(), trk_, "invalidated", msg.addr));
     }
     sendInvAck(msg.addr);
 }
@@ -299,6 +337,8 @@ TwoBitCacheCtrl::onBroadQuery(const Message &msg)
     }
 
     ++stats_.queriesAnswered;
+    DIR2B_TRC(trc_, instant(eq_.now(), trk_, "query_answered",
+                            msg.addr, msg.rw == RW::Write));
     Message put;
     put.kind = MsgKind::PutData;
     put.proc = id_;

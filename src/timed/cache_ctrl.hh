@@ -25,6 +25,7 @@
 
 #include "cache/cache_array.hh"
 #include "cache/snoop_filter.hh"
+#include "obs/trace_recorder.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "timed/timed_config.hh"
@@ -49,7 +50,9 @@ struct CacheCtrlStats
     Counter invalidationsApplied;
     Counter queriesAnswered;
     Counter writebacksSent;
-    Histogram latency{1, 64}; ///< request latency in cycles
+    Histogram latency{1, 64};   ///< request latency in cycles
+    Histogram grantWait{2, 64}; ///< MREQUEST -> MGRANTED/conversion
+    Histogram dataWait{2, 64};  ///< REQUEST -> get(data)
 };
 
 /** Timed two-bit cache controller. */
@@ -98,6 +101,10 @@ class TwoBitCacheCtrl
         Value wval;
         Done done;
         Tick start;
+        /** Trace span label for the whole transaction (literal). */
+        const char *op = nullptr;
+        /** Start of the current wait sub-phase (grant/data). */
+        Tick phaseStart = 0;
     };
 
     unsigned homeEndpoint(Addr a) const;
@@ -141,6 +148,8 @@ class TwoBitCacheCtrl
     std::optional<SnoopFilter> snoop_;
     std::optional<Txn> txn_;
     CacheCtrlStats stats_;
+    TraceRecorder *trc_ = nullptr;
+    std::uint32_t trk_ = 0; ///< this cache's trace track
 };
 
 } // namespace dir2b

@@ -76,6 +76,8 @@ TwoBitDirCtrl::broadcastInvalidate(Addr a, ProcId except,
     }
     awaitAcks(a, except, static_cast<unsigned>(dsts.size()),
               std::move(onAcked));
+    DIR2B_TRC(trc_, instant(eq_.now(), trk_, "broadinv_fanout", a,
+                            dsts.size()));
     net_.broadcast(endpoint(), dsts, inv);
 }
 
@@ -108,6 +110,8 @@ TwoBitDirCtrl::processRequest(const Message &msg)
                 dsts.push_back(p);
         }
         awaitPut(a, k, msg.rw);
+        DIR2B_TRC(trc_, instant(eq_.now(), trk_, "broadquery_fanout", a,
+                                dsts.size()));
         net_.broadcast(endpoint(), dsts, q);
         return;
     }

@@ -10,15 +10,30 @@ namespace dir2b
 TimedDirCtrl::TimedDirCtrl(ModuleId id, const TimedConfig &cfg,
                            EventQueue &eq, TimedNetwork &net)
     : id_(id), cfg_(cfg), eq_(eq), net_(net)
-{}
+{
+#if DIR2B_TRACE
+    if ((trc_ = cfg.tracer)) {
+        trk_ = trc_->addTrack("ctrl" + std::to_string(id));
+        busyTrk_ = trc_->addTrack("ctrl" + std::to_string(id) +
+                                  ".busy");
+    }
+#endif
+}
+
+void
+TimedDirCtrl::noteQueueDepth()
+{
+    DIR2B_TRC(trc_, counter(eq_.now(), trk_, "queue_depth",
+                            queue_.size()));
+}
 
 std::string
 TimedDirCtrl::stuckReport() const
 {
     std::ostringstream os;
     os << "controller " << id_ << ": queue=[";
-    for (const auto &m : queue_)
-        os << " " << toString(m);
+    for (const auto &q : queue_)
+        os << " " << toString(q.msg);
     os << " ] busy=[";
     for (const auto &[a, b] : busy_) {
         const char *kind = b.kind == Busy::Kind::AwaitingPut
@@ -54,6 +69,10 @@ TimedDirCtrl::receive(unsigned, const Message &msg)
             DIR2B_DEBUG("t=", eq_.now(), " K", id_,
                         " put answers wait: ", toString(msg));
             ++stats_.putsAwaited;
+            stats_.putWait.sample(eq_.now() - it->second.since);
+            DIR2B_TRC(trc_, complete(it->second.since, eq_.now(),
+                                     busyTrk_, "await_put", msg.addr,
+                                     it->second.requester));
             const ProcId requester = it->second.requester;
             const RW rw = it->second.rw;
             busy_.erase(it);
@@ -66,8 +85,9 @@ TimedDirCtrl::receive(unsigned, const Message &msg)
                     toString(msg));
     }
 
-    queue_.push_back(msg);
+    queue_.push_back(Queued{msg, eq_.now()});
     stats_.queueDepth.sample(queue_.size());
+    noteQueueDepth();
     scheduleDispatch();
 }
 
@@ -83,10 +103,13 @@ TimedDirCtrl::processInvAck(const Message &msg)
     // its FIFO link, so if one exists it is in the queue now: delete
     // it (its sender has already converted to a write miss).
     for (auto qit = queue_.begin(); qit != queue_.end();) {
-        if (qit->kind == MsgKind::MRequest && qit->addr == msg.addr &&
-            qit->proc == msg.proc) {
+        if (qit->msg.kind == MsgKind::MRequest &&
+            qit->msg.addr == msg.addr && qit->msg.proc == msg.proc) {
             qit = queue_.erase(qit);
             ++stats_.mreqDeleted;
+            DIR2B_TRC(trc_, instant(eq_.now(), trk_, "mreq_deleted",
+                                    msg.addr, msg.proc));
+            noteQueueDepth();
         } else {
             ++qit;
         }
@@ -94,6 +117,10 @@ TimedDirCtrl::processInvAck(const Message &msg)
 
     DIR2B_ASSERT(it->second.acksRemaining > 0, "ack underflow");
     if (--it->second.acksRemaining == 0) {
+        stats_.ackWait.sample(eq_.now() - it->second.since);
+        DIR2B_TRC(trc_, complete(it->second.since, eq_.now(), busyTrk_,
+                                 "await_acks", msg.addr,
+                                 it->second.requester));
         auto done = std::move(it->second.onAcked);
         busy_.erase(it);
         done();
@@ -133,15 +160,21 @@ TimedDirCtrl::dispatch()
         if (!busy_.empty())
             return;
     } else {
-        while (it != queue_.end() && busy_.count(it->addr))
+        while (it != queue_.end() && busy_.count(it->msg.addr))
             ++it;
         if (it == queue_.end())
             return;
     }
 
-    const Message msg = *it;
+    const Message msg = it->msg;
+    stats_.queueWait.sample(eq_.now() - it->at);
     queue_.erase(it);
     busyUntil_ = eq_.now() + cfg_.dirLatency;
+    // The service span is the controller-occupancy window; naming it
+    // by the command makes the Table 3-1 mix visible per track.
+    DIR2B_TRC(trc_, complete(eq_.now(), busyUntil_, trk_,
+                             mnemonic(msg.kind), msg.addr, msg.proc));
+    noteQueueDepth();
     DIR2B_DEBUG("t=", eq_.now(), " K", id_, " process ", toString(msg));
     process(msg);
     if (!queue_.empty())
@@ -169,7 +202,11 @@ TimedDirCtrl::supplyData(ProcId k, Addr a, Value data, bool writeBack,
     Busy b;
     b.kind = Busy::Kind::Supplying;
     b.requester = k;
+    b.since = eq_.now();
     busy_[a] = std::move(b);
+    // A DES knows the window's end up front: record the span now.
+    DIR2B_TRC(trc_, complete(eq_.now(), eq_.now() + cfg_.memLatency,
+                             busyTrk_, "supply", a, k));
     const unsigned dst = k;
     eq_.schedule(cfg_.memLatency, [this, dst, get, a] {
         net_.send(endpoint(), dst, get);
@@ -185,6 +222,7 @@ TimedDirCtrl::awaitPut(Addr a, ProcId requester, RW rw)
     b.kind = Busy::Kind::AwaitingPut;
     b.requester = requester;
     b.rw = rw;
+    b.since = eq_.now();
     busy_[a] = std::move(b);
 }
 
@@ -198,6 +236,7 @@ TimedDirCtrl::awaitAcks(Addr a, ProcId requester, unsigned count,
     b.requester = requester;
     b.acksRemaining = count;
     b.onAcked = std::move(onAcked);
+    b.since = eq_.now();
     busy_[a] = std::move(b);
 }
 
@@ -205,11 +244,14 @@ bool
 TimedDirCtrl::consumeQueuedPut(Addr a, Message &out)
 {
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-        if (it->kind == MsgKind::Eject && it->addr == a &&
-            (it->rw == RW::Write || ejectReadAnswersWait())) {
-            out = *it;
+        if (it->msg.kind == MsgKind::Eject && it->msg.addr == a &&
+            (it->msg.rw == RW::Write || ejectReadAnswersWait())) {
+            out = it->msg;
             queue_.erase(it);
             ++stats_.putsConsumed;
+            DIR2B_TRC(trc_, instant(eq_.now(), trk_, "put_consumed", a,
+                                    out.proc));
+            noteQueueDepth();
             return true;
         }
     }
@@ -221,8 +263,8 @@ TimedDirCtrl::deleteQueuedMRequests(Addr a, ProcId except)
 {
     unsigned deleted = 0;
     for (auto it = queue_.begin(); it != queue_.end();) {
-        if (it->kind == MsgKind::MRequest && it->addr == a &&
-            it->proc != except) {
+        if (it->msg.kind == MsgKind::MRequest && it->msg.addr == a &&
+            it->msg.proc != except) {
             it = queue_.erase(it);
             ++deleted;
         } else {
@@ -230,6 +272,11 @@ TimedDirCtrl::deleteQueuedMRequests(Addr a, ProcId except)
         }
     }
     stats_.mreqDeleted.inc(deleted);
+    if (deleted) {
+        DIR2B_TRC(trc_,
+                  instant(eq_.now(), trk_, "mreq_deleted", a, deleted));
+        noteQueueDepth();
+    }
     return deleted;
 }
 

@@ -29,6 +29,7 @@
 #include <string>
 
 #include "memory/backing_store.hh"
+#include "obs/trace_recorder.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "timed/timed_config.hh"
@@ -56,6 +57,9 @@ struct DirCtrlStats
     Counter putsConsumed;    ///< queued EJECT(write) used as put()
     Counter putsAwaited;     ///< queries resolved by a later put
     Histogram queueDepth{1, 32};
+    Histogram queueWait{4, 64}; ///< cycles a command sat queued
+    Histogram ackWait{2, 64};   ///< invalidation-ack barrier wait
+    Histogram putWait{4, 64};   ///< query -> answering put wait
 };
 
 /** Abstract timed memory controller. */
@@ -88,6 +92,7 @@ class TimedDirCtrl
         RW rw;
         unsigned acksRemaining = 0;
         std::function<void()> onAcked;
+        Tick since = 0; ///< when this busy window opened
     };
 
     /** Dispatch target: handle one dequeued command. */
@@ -141,12 +146,24 @@ class TimedDirCtrl
     TimedNetwork &net_;
     BackingStore mem_;
     DirCtrlStats stats_;
+    TraceRecorder *trc_ = nullptr;
+    std::uint32_t trk_ = 0;     ///< service-span track ("ctrlN")
+    std::uint32_t busyTrk_ = 0; ///< busy-window track ("ctrlN.busy")
 
   private:
+    /** A queued command, stamped with its arrival tick so dispatch
+     *  can attribute queue residency. */
+    struct Queued
+    {
+        Message msg;
+        Tick at;
+    };
+
     void dispatch();
     void processInvAck(const Message &msg);
+    void noteQueueDepth();
 
-    std::list<Message> queue_;
+    std::list<Queued> queue_;
     FlatMap<Addr, Busy> busy_;
     Tick busyUntil_ = 0;
     bool dispatchScheduled_ = false;

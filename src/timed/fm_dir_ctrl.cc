@@ -94,6 +94,7 @@ FmDirCtrl::invalidateHolders(Addr a, Entry &e, ProcId except,
         onAcked();
         return;
     }
+    DIR2B_TRC(trc_, instant(eq_.now(), trk_, "inv_fanout", a, sent));
     // Queued stale MREQUESTs die now; in-flight ones at ack time.
     deleteQueuedMRequests(a, except);
     awaitAcks(a, except, sent, std::move(onAcked));
@@ -128,6 +129,8 @@ FmDirCtrl::processRequest(const Message &msg)
         purge.rw = msg.rw;
         ++stats_.purges;
         awaitPut(a, k, msg.rw);
+        DIR2B_TRC(trc_,
+                  instant(eq_.now(), trk_, "purge_owner", a, owner));
         net_.send(endpoint(), owner, purge);
         return;
     }

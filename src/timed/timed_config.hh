@@ -26,6 +26,8 @@
 namespace dir2b
 {
 
+class TraceRecorder;
+
 /** Interconnection-network model of the timed tier. */
 enum class NetKind
 {
@@ -87,6 +89,15 @@ struct TimedConfig
 
     /** Safety net against protocol livelock. */
     std::uint64_t maxEvents = 200000000ULL;
+
+    /**
+     * Optional trace recorder (src/obs).  When non-null and the build
+     * compiles instrumentation (DIR2B_TRACE), every controller and the
+     * network register a track and record phase spans and Table 3-1
+     * command instants.  Recording never perturbs simulation state:
+     * results are bit-identical with or without a recorder attached.
+     */
+    TraceRecorder *tracer = nullptr;
 };
 
 } // namespace dir2b

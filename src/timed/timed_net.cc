@@ -8,13 +8,21 @@ namespace dir2b
 {
 
 TimedNetwork::TimedNetwork(EventQueue &eq, unsigned endpoints,
-                           Tick latency, NetKind kind)
+                           Tick latency, NetKind kind,
+                           TraceRecorder *trc)
     : eq_(eq),
       latency_(latency),
       kind_(kind),
       handlers_(endpoints),
       portFreeAt_(endpoints, 0)
-{}
+{
+#if DIR2B_TRACE
+    if ((trc_ = trc))
+        trk_ = trc_->addTrack("net");
+#else
+    (void)trc;
+#endif
+}
 
 void
 TimedNetwork::connect(unsigned ep, Handler handler)
@@ -61,6 +69,8 @@ TimedNetwork::send(unsigned src, unsigned dst, Message msg)
     ++messages_;
     if (msg.kind == MsgKind::GetData || msg.kind == MsgKind::PutData)
         ++dataMsgs_;
+    DIR2B_TRC(trc_, instant(eq_.now(), trk_, mnemonic(msg.kind),
+                            msg.addr, src, dst));
 
     const Tick deliverAt = claimSlot(dst);
     eq_.scheduleAt(deliverAt, [this, src, dst, msg] {
@@ -85,6 +95,9 @@ TimedNetwork::broadcast(unsigned src, const std::vector<unsigned> &dsts,
             DIR2B_ASSERT(dst < handlers_.size() && handlers_[dst],
                          "broadcast to unconnected endpoint ", dst);
             ++messages_;
+            DIR2B_TRC(trc_, instant(eq_.now(), trk_,
+                                    mnemonic(msg.kind), msg.addr, src,
+                                    dst));
             eq_.scheduleAt(deliverAt, [this, src, dst, msg] {
                 handlers_[dst](src, msg);
             });

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "net/message.hh"
+#include "obs/trace_recorder.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "timed/timed_config.hh"
@@ -38,8 +39,11 @@ class TimedNetwork
   public:
     using Handler = std::function<void(unsigned src, const Message &)>;
 
+    /** @param trc optional trace recorder: every message becomes an
+     *  instant event (paper mnemonic, src/dst endpoints) on a "net"
+     *  track. */
     TimedNetwork(EventQueue &eq, unsigned endpoints, Tick latency,
-                 NetKind kind);
+                 NetKind kind, TraceRecorder *trc = nullptr);
 
     /** Register the receiver of endpoint ep. */
     void connect(unsigned ep, Handler handler);
@@ -68,6 +72,8 @@ class TimedNetwork
     EventQueue &eq_;
     Tick latency_;
     NetKind kind_;
+    TraceRecorder *trc_ = nullptr;
+    std::uint32_t trk_ = 0;
     std::vector<Handler> handlers_;
     std::vector<Tick> portFreeAt_;
     Tick busFreeAt_ = 0;

@@ -24,7 +24,7 @@ TimedSystem::TimedSystem(const TimedConfig &cfg) : cfg_(cfg)
     const unsigned endpoints = cfg_.numProcs + cfg_.numModules;
     net_ = std::make_unique<TimedNetwork>(eq_, endpoints,
                                           cfg_.netLatency,
-                                          cfg_.network);
+                                          cfg_.network, cfg_.tracer);
 
     caches_.reserve(cfg_.numProcs);
     for (ProcId p = 0; p < cfg_.numProcs; ++p) {
@@ -157,6 +157,11 @@ TimedSystem::run(const ProcSource &source, std::uint64_t refsPerProc)
         r.putsAwaited += s.putsAwaited.value();
         r.grantsFalse += s.grantsFalse.value();
     }
+    const Histogram lat =
+        mergedCacheHistogram(&CacheCtrlStats::latency);
+    r.latencyP50 = lat.p50();
+    r.latencyP95 = lat.p95();
+    r.latencyP99 = lat.p99();
     return r;
 }
 
@@ -183,6 +188,10 @@ TimedSystem::dumpStats(std::ostream &os) const
         g.addCounter("writebacks", &s.writebacksSent);
         g.addHistogram("latency", &s.latency,
                        "request latency, cycles");
+        g.addHistogram("grant_wait", &s.grantWait,
+                       "MREQUEST to grant/conversion, cycles");
+        g.addHistogram("data_wait", &s.dataWait,
+                       "REQUEST to data arrival, cycles");
         g.dump(os);
     }
     for (ModuleId m = 0; m < cfg_.numModules; ++m) {
@@ -204,6 +213,12 @@ TimedSystem::dumpStats(std::ostream &os) const
                      "queued EJECT(write) used as put()");
         g.addCounter("puts_awaited", &s.putsAwaited);
         g.addHistogram("queue_depth", &s.queueDepth);
+        g.addHistogram("queue_wait", &s.queueWait,
+                       "command queue residency, cycles");
+        g.addHistogram("ack_wait", &s.ackWait,
+                       "invalidation-ack barrier wait, cycles");
+        g.addHistogram("put_wait", &s.putWait,
+                       "query to answering put, cycles");
         g.dump(os);
     }
 }

@@ -56,6 +56,10 @@ struct TimedRunResult
     std::uint64_t netWaitCycles = 0;
     std::uint64_t readsChecked = 0;
     std::uint64_t writesRecorded = 0;
+    /** Request-latency percentiles over all caches (merged). */
+    Tick latencyP50 = 0;
+    Tick latencyP95 = 0;
+    Tick latencyP99 = 0;
 };
 
 /** A complete timed two-bit multiprocessor. */
@@ -86,6 +90,29 @@ class TimedSystem
     }
     const TimedNetwork &network() const { return *net_; }
     const TimedConfig &config() const { return cfg_; }
+
+    /** Current simulated time (the trace/debug hook's clock). */
+    Tick now() const { return eq_.now(); }
+
+    /** Merge one per-cache histogram across every cache. */
+    Histogram
+    mergedCacheHistogram(Histogram CacheCtrlStats::*h) const
+    {
+        Histogram out = caches_.at(0)->stats().*h;
+        for (std::size_t p = 1; p < caches_.size(); ++p)
+            out.merge(caches_[p]->stats().*h);
+        return out;
+    }
+
+    /** Merge one per-controller histogram across every module. */
+    Histogram
+    mergedDirHistogram(Histogram DirCtrlStats::*h) const
+    {
+        Histogram out = dirs_.at(0)->stats().*h;
+        for (std::size_t m = 1; m < dirs_.size(); ++m)
+            out.merge(dirs_[m]->stats().*h);
+        return out;
+    }
 
     /**
      * Dump every component's statistics in the gem5-style

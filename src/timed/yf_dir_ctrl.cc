@@ -52,6 +52,7 @@ YfDirCtrl::invalidateHolders(Addr a, DynBitset &e, ProcId except,
         onAcked();
         return;
     }
+    DIR2B_TRC(trc_, instant(eq_.now(), trk_, "inv_fanout", a, sent));
     deleteQueuedMRequests(a, except);
     awaitAcks(a, except, sent, std::move(onAcked));
 }
@@ -70,6 +71,7 @@ YfDirCtrl::purgeSoleHolder(Addr a, ProcId requester, RW rw)
     purge.rw = rw;
     ++stats_.purges;
     awaitPut(a, requester, rw);
+    DIR2B_TRC(trc_, instant(eq_.now(), trk_, "purge_owner", a, owner));
     net_.send(endpoint(), owner, purge);
 }
 

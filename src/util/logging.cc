@@ -10,6 +10,7 @@ namespace
 {
 
 LogLevel globalLevel = LogLevel::Warn;
+DebugSink globalDebugSink;
 
 } // namespace
 
@@ -23,6 +24,12 @@ void
 setLogLevel(LogLevel level)
 {
     globalLevel = level;
+}
+
+void
+setDebugSink(DebugSink sink)
+{
+    globalDebugSink = std::move(sink);
 }
 
 namespace detail
@@ -58,11 +65,20 @@ informImpl(const std::string &msg)
         std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 
+bool
+debugEnabled()
+{
+    return globalLevel >= LogLevel::Debug ||
+           static_cast<bool>(globalDebugSink);
+}
+
 void
 debugImpl(const std::string &msg)
 {
     if (globalLevel >= LogLevel::Debug)
         std::fprintf(stderr, "debug: %s\n", msg.c_str());
+    if (globalDebugSink)
+        globalDebugSink(msg);
 }
 
 } // namespace detail

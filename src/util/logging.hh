@@ -12,6 +12,7 @@
 #ifndef DIR2B_UTIL_LOGGING_HH
 #define DIR2B_UTIL_LOGGING_HH
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -27,8 +28,23 @@ LogLevel logLevel();
 /** Set the process-wide log level. */
 void setLogLevel(LogLevel level);
 
+/** Callback receiving every DIR2B_DEBUG message. */
+using DebugSink = std::function<void(const std::string &)>;
+
+/**
+ * Install (or clear, with nullptr) a sink that observes every debug
+ * message *in addition to* stderr.  The trace recorder routes protocol
+ * chatter through this so a --debug run and its trace tell one story.
+ * The sink fires regardless of the log level — attaching one turns
+ * debug-message materialisation on without the stderr spam.
+ */
+void setDebugSink(DebugSink sink);
+
 namespace detail
 {
+
+/** True when DIR2B_DEBUG must materialise its message at all. */
+bool debugEnabled();
 
 [[noreturn]] void panicImpl(const char *file, int line,
                             const std::string &msg);
@@ -81,8 +97,14 @@ concat(Args &&...args)
 #define DIR2B_INFORM(...)                                                   \
     ::dir2b::detail::informImpl(::dir2b::detail::concat(__VA_ARGS__))
 
-/** Debug chatter, subject to the log level. */
+/** Debug chatter, subject to the log level (or an installed sink).
+ *  The guard keeps message materialisation off the hot path when
+ *  nobody is listening. */
 #define DIR2B_DEBUG(...)                                                    \
-    ::dir2b::detail::debugImpl(::dir2b::detail::concat(__VA_ARGS__))
+    do {                                                                    \
+        if (::dir2b::detail::debugEnabled())                                \
+            ::dir2b::detail::debugImpl(                                     \
+                ::dir2b::detail::concat(__VA_ARGS__));                      \
+    } while (0)
 
 #endif // DIR2B_UTIL_LOGGING_HH

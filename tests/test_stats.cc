@@ -70,6 +70,81 @@ TEST(Histogram, Percentile)
     EXPECT_EQ(h.percentile(1.0), 99u);
 }
 
+TEST(Histogram, PercentileShortcuts)
+{
+    Histogram h(1, 100);
+    for (std::uint64_t v = 0; v < 100; ++v)
+        h.sample(v);
+    EXPECT_EQ(h.p50(), h.percentile(0.50));
+    EXPECT_EQ(h.p95(), h.percentile(0.95));
+    EXPECT_EQ(h.p99(), h.percentile(0.99));
+    EXPECT_LE(h.p50(), h.p95());
+    EXPECT_LE(h.p95(), h.p99());
+    EXPECT_GE(h.p95(), 90u);
+}
+
+TEST(Histogram, PercentileOfEmptyIsZero)
+{
+    Histogram h(1, 8);
+    EXPECT_EQ(h.p50(), 0u);
+    EXPECT_EQ(h.p99(), 0u);
+}
+
+TEST(Histogram, MergeCombinesDistributions)
+{
+    Histogram a(1, 16);
+    Histogram b(1, 16);
+    for (std::uint64_t v = 0; v < 8; ++v)
+        a.sample(v);
+    for (std::uint64_t v = 8; v < 16; ++v)
+        b.sample(v);
+
+    Histogram whole(1, 16);
+    for (std::uint64_t v = 0; v < 16; ++v)
+        whole.sample(v);
+
+    a.merge(b);
+    EXPECT_EQ(a.samples(), whole.samples());
+    EXPECT_EQ(a.min(), whole.min());
+    EXPECT_EQ(a.max(), whole.max());
+    EXPECT_DOUBLE_EQ(a.mean(), whole.mean());
+    for (std::size_t i = 0; i <= 16; ++i)
+        EXPECT_EQ(a.bucket(i), whole.bucket(i)) << "bucket " << i;
+    EXPECT_EQ(a.p50(), whole.p50());
+    EXPECT_EQ(a.p99(), whole.p99());
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentity)
+{
+    Histogram a(2, 8);
+    a.sample(3);
+    a.sample(7);
+    const auto samples = a.samples();
+    const auto mn = a.min();
+    const auto mx = a.max();
+
+    Histogram empty(2, 8);
+    a.merge(empty); // empty rhs: no-op
+    EXPECT_EQ(a.samples(), samples);
+    EXPECT_EQ(a.min(), mn);
+    EXPECT_EQ(a.max(), mx);
+
+    Histogram fresh(2, 8); // empty lhs adopts rhs min/max
+    fresh.merge(a);
+    EXPECT_EQ(fresh.samples(), samples);
+    EXPECT_EQ(fresh.min(), mn);
+    EXPECT_EQ(fresh.max(), mx);
+}
+
+#if GTEST_HAS_DEATH_TEST
+TEST(HistogramDeathTest, MergeRejectsMismatchedGeometry)
+{
+    Histogram a(1, 8);
+    Histogram b(2, 8);
+    EXPECT_DEATH(a.merge(b), "merge");
+}
+#endif
+
 TEST(Histogram, ResetClears)
 {
     Histogram h(1, 8);

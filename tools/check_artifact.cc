@@ -1,24 +1,28 @@
 /**
  * @file
- * Sweep-artifact validator for CI and smoke tests.
+ * Artifact validator for CI and smoke tests.
  *
  *   check_artifact FILE [--cells N] [--bench NAME] [--compare OTHER]
  *
- * Checks that FILE parses as JSON and carries the dir2b.sweep or
- * dir2b.check schema (schema discriminator, supported schema_version,
- * bench name, cells array whose every element is an object with a
- * "section" string, and a meta block).  With --cells the cell count must equal N; with
- * --bench the "bench" field must equal NAME; with --compare the two
- * artifacts must have equal payloads once the volatile "meta" block is
- * excluded — the determinism contract between --threads 1 and
- * --threads N runs.  Exits 0 on success, 1 with a diagnostic on any
- * violation.
+ * Checks that FILE parses as JSON and carries one of the dir2b
+ * artifact schemas, dispatching on the "schema" discriminator:
+ *
+ *   dir2b.sweep / dir2b.check  - validateSweepArtifact() (report/)
+ *   dir2b.trace                - validateTraceArtifact() (obs/)
+ *
+ * With --cells the cell count must equal N (sweep/check only — trace
+ * artifacts have traceEvents, not cells); with --bench the "bench"
+ * field must equal NAME; with --compare the two artifacts must have
+ * equal payloads once the volatile "meta" block is excluded — the
+ * determinism contract between --threads 1 and --threads N runs.
+ * Exits 0 on success, 1 with a diagnostic on any violation.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "obs/chrome_trace.hh"
 #include "report/report.hh"
 
 namespace
@@ -39,49 +43,34 @@ usage(const char *argv0)
     std::printf(
         "usage: %s FILE [--cells N] [--bench NAME] [--compare OTHER]\n"
         "\n"
-        "Validate a dir2b.sweep or dir2b.check JSON artifact\n"
-        "(see docs/METRICS.md and docs/CHECKING.md).\n"
-        "  --cells N       require exactly N cells\n"
+        "Validate a dir2b.sweep, dir2b.check or dir2b.trace JSON\n"
+        "artifact (see docs/METRICS.md, docs/CHECKING.md and\n"
+        "docs/TRACING.md).\n"
+        "  --cells N       require exactly N cells (sweep/check only)\n"
         "  --bench NAME    require the bench field to equal NAME\n"
         "  --compare OTHER require payload equality with artifact\n"
         "                  OTHER, ignoring the volatile meta block\n",
         argv0);
 }
 
+/** True when the artifact is a dir2b.trace document. */
+bool
+isTrace(const Json &a)
+{
+    return a.isObject() && a.contains("schema") &&
+           a.at("schema").isString() &&
+           a.at("schema").asString() == dir2b::traceSchemaName;
+}
+
 /** Schema checks shared by the primary and --compare artifacts. */
 void
 validate(const Json &a, const std::string &path)
 {
-    if (!a.isObject())
-        fail(path + ": top level is not an object");
-    for (const char *key : {"schema", "schema_version", "bench",
-                            "cells", "meta"})
-        if (!a.contains(key))
-            fail(path + ": missing required field '" + key + "'");
-    const std::string schema = a.at("schema").asString();
-    if (schema != dir2b::reportSchemaName &&
-        schema != dir2b::checkSchemaName)
-        fail(path + ": schema is '" + schema + "', expected '" +
-             dir2b::reportSchemaName + "' or '" +
-             dir2b::checkSchemaName + "'");
-    const auto version = a.at("schema_version").asInt();
-    if (version < 1 || version > dir2b::reportSchemaVersion)
-        fail(path + ": unsupported schema_version " +
-             std::to_string(version));
-    if (!a.at("cells").isArray())
-        fail(path + ": 'cells' is not an array");
-    std::size_t idx = 0;
-    for (const Json &cell : a.at("cells").elements()) {
-        if (!cell.isObject() || !cell.contains("section") ||
-            !cell.at("section").isString())
-            fail(path + ": cell " + std::to_string(idx) +
-                 " lacks a 'section' string");
-        ++idx;
-    }
-    const Json &meta = a.at("meta");
-    if (!meta.isObject() || !meta.contains("threads") ||
-        !meta.contains("wall_ms"))
-        fail(path + ": malformed 'meta' block");
+    const std::string err = isTrace(a)
+                                ? dir2b::validateTraceArtifact(a)
+                                : dir2b::validateSweepArtifact(a);
+    if (!err.empty())
+        fail(path + ": " + err);
 }
 
 } // namespace
@@ -123,6 +112,28 @@ main(int argc, char **argv)
 
     const Json a = dir2b::readArtifact(path);
     validate(a, path);
+
+    if (isTrace(a)) {
+        if (wantCells >= 0)
+            fail(path + ": --cells does not apply to dir2b.trace "
+                        "artifacts");
+        if (!benchName.empty() &&
+            a.at("bench").asString() != benchName)
+            fail(path + ": bench is '" + a.at("bench").asString() +
+                 "', expected '" + benchName + "'");
+        if (!comparePath.empty()) {
+            const Json b = dir2b::readArtifact(comparePath);
+            validate(b, comparePath);
+            if (!dir2b::sameArtifactPayload(a, b))
+                fail(path + " and " + comparePath +
+                     " differ outside the meta block");
+        }
+        std::printf("check_artifact: %s ok (%zu trace events, "
+                    "bench %s)\n",
+                    path.c_str(), a.at("traceEvents").size(),
+                    a.at("bench").asString().c_str());
+        return 0;
+    }
 
     const std::size_t cells = a.at("cells").size();
     if (wantCells >= 0 &&

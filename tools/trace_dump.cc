@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Run a timed workload with the trace recorder attached and emit a
+ * dir2b.trace artifact (docs/TRACING.md) plus a per-phase latency
+ * summary on stdout.
+ *
+ *   trace_dump [--out PATH] [--protocol tb|fm|yf] [--procs N]
+ *              [--modules M] [--refs N] [--seed S] [--q Q]
+ *              [--net ideal|crossbar|bus] [--per-block] [--snoop]
+ *              [--capacity N] [--debug]
+ *
+ * The artifact is simultaneously a Chrome trace_event file: load it
+ * straight into Perfetto (https://ui.perfetto.dev) or chrome://tracing
+ * to see one track per cache and controller, phase spans (transaction,
+ * await_grant, await_data, service, supply, await_acks, await_put) and
+ * an instant per Table 3-1 command on the network track.
+ *
+ * With --debug, DIR2B_DEBUG protocol chatter is additionally routed
+ * into a "log" track as instant events, so the textual story and the
+ * timeline are one artifact.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "obs/chrome_trace.hh"
+#include "obs/trace_recorder.hh"
+#include "report/bench_cli.hh"
+#include "report/report.hh"
+#include "timed/timed_system.hh"
+#include "trace/synthetic.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+using namespace dir2b;
+
+[[noreturn]] void
+fail(const std::string &msg)
+{
+    std::fprintf(stderr, "trace_dump: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "\n"
+        "Run a timed workload with tracing and write a dir2b.trace\n"
+        "artifact (Perfetto-loadable; see docs/TRACING.md).\n"
+        "  --out PATH      artifact path (default: dir2b.trace)\n"
+        "  --protocol P    tb | fm | yf (default: tb)\n"
+        "  --procs N       processor-cache pairs (default: 4)\n"
+        "  --modules M     controller-memory modules (default: 2)\n"
+        "  --refs N        references per processor (default: 2000)\n"
+        "  --seed S        synthetic workload seed (default: 31)\n"
+        "  --q Q           shared-reference probability (default: 0.10)\n"
+        "  --net KIND      ideal | crossbar | bus (default: crossbar)\n"
+        "  --per-block     per-block-concurrent controllers (Sec. 3.2.5"
+        " option 2)\n"
+        "  --snoop         duplicate cache directories (Sec. 4.4a)\n"
+        "  --capacity N    recorder ring capacity in events "
+        "(default: 262144)\n"
+        "  --debug         route DIR2B_DEBUG messages into a 'log' "
+        "track\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string outPath = "dir2b.trace";
+    std::string protoName = "tb";
+    std::string netName = "crossbar";
+    unsigned procs = 4;
+    unsigned modules = 2;
+    std::uint64_t refs = 2000;
+    std::uint64_t seed = 31;
+    double q = 0.10;
+    bool perBlock = false;
+    bool snoop = false;
+    bool debug = false;
+    std::size_t capacity = std::size_t(1) << 18;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc)
+                fail(std::string(flag) + " requires an argument");
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (arg == "--out") {
+            outPath = value("--out");
+        } else if (arg == "--protocol") {
+            protoName = value("--protocol");
+        } else if (arg == "--net") {
+            netName = value("--net");
+        } else if (arg == "--procs") {
+            procs = static_cast<unsigned>(
+                std::atoi(value("--procs").c_str()));
+        } else if (arg == "--modules") {
+            modules = static_cast<unsigned>(
+                std::atoi(value("--modules").c_str()));
+        } else if (arg == "--refs") {
+            refs = static_cast<std::uint64_t>(
+                std::atoll(value("--refs").c_str()));
+        } else if (arg == "--seed") {
+            seed = static_cast<std::uint64_t>(
+                std::atoll(value("--seed").c_str()));
+        } else if (arg == "--q") {
+            q = std::atof(value("--q").c_str());
+        } else if (arg == "--capacity") {
+            capacity = static_cast<std::size_t>(
+                std::atoll(value("--capacity").c_str()));
+        } else if (arg == "--per-block") {
+            perBlock = true;
+        } else if (arg == "--snoop") {
+            snoop = true;
+        } else if (arg == "--debug") {
+            debug = true;
+        } else {
+            fail("unknown option '" + arg + "' (see --help)");
+        }
+    }
+    if (procs == 0 || modules == 0 || capacity == 0)
+        fail("--procs, --modules and --capacity must be positive");
+
+    TimedConfig cfg;
+    if (protoName == "tb")
+        cfg.protocol = TimedProto::TwoBit;
+    else if (protoName == "fm")
+        cfg.protocol = TimedProto::FullMap;
+    else if (protoName == "yf")
+        cfg.protocol = TimedProto::YenFu;
+    else
+        fail("unknown --protocol '" + protoName + "' (tb|fm|yf)");
+    if (netName == "ideal")
+        cfg.network = NetKind::Ideal;
+    else if (netName == "crossbar")
+        cfg.network = NetKind::Crossbar;
+    else if (netName == "bus")
+        cfg.network = NetKind::Bus;
+    else
+        fail("unknown --net '" + netName + "' (ideal|crossbar|bus)");
+    cfg.numProcs = procs;
+    cfg.numModules = modules;
+    cfg.cacheGeom.sets = 32;
+    cfg.cacheGeom.ways = 4;
+    cfg.perBlockConcurrency = perBlock;
+    cfg.snoopFilter = snoop;
+
+    if (!traceCompiledIn)
+        std::fprintf(stderr,
+                     "trace_dump: warning: built with -DDIR2B_TRACING="
+                     "OFF — the trace will contain no events\n");
+
+    TraceRecorder rec(capacity);
+    cfg.tracer = &rec;
+
+    const WallTimer timer;
+    TimedSystem sys(cfg);
+
+    if (debug) {
+        const std::uint32_t logTrk = rec.addTrack("log");
+        setDebugSink([&rec, &sys, logTrk](const std::string &msg) {
+            rec.note(sys.now(), logTrk, msg);
+        });
+    }
+
+    SyntheticConfig scfg;
+    scfg.numProcs = procs;
+    scfg.q = q;
+    scfg.w = 0.3;
+    scfg.sharedBlocks = 16;
+    scfg.privateBlocks = 96;
+    scfg.hotBlocks = 24;
+    scfg.sharedLocality = 0.9;
+    scfg.seed = static_cast<std::uint32_t>(seed);
+    auto stream = std::make_shared<SyntheticStream>(scfg);
+    auto src = [stream](ProcId p) -> std::optional<MemRef> {
+        return stream->nextFor(p);
+    };
+
+    const TimedRunResult r = sys.run(src, refs);
+    setDebugSink(nullptr);
+
+    // ---- per-phase latency summary (merged across components) ----
+    struct Phase
+    {
+        const char *name;
+        Histogram h;
+    };
+    const Phase phases[] = {
+        {"latency", sys.mergedCacheHistogram(&CacheCtrlStats::latency)},
+        {"grant_wait",
+         sys.mergedCacheHistogram(&CacheCtrlStats::grantWait)},
+        {"data_wait",
+         sys.mergedCacheHistogram(&CacheCtrlStats::dataWait)},
+        {"queue_wait",
+         sys.mergedDirHistogram(&DirCtrlStats::queueWait)},
+        {"ack_wait", sys.mergedDirHistogram(&DirCtrlStats::ackWait)},
+        {"put_wait", sys.mergedDirHistogram(&DirCtrlStats::putWait)},
+    };
+
+    std::printf("trace_dump: %s n=%u m=%u q=%.2f net=%s refs=%llu "
+                "-> %llu ticks, %llu messages\n\n",
+                protoName.c_str(), procs, modules, q, netName.c_str(),
+                static_cast<unsigned long long>(refs),
+                static_cast<unsigned long long>(r.finalTick),
+                static_cast<unsigned long long>(r.netMessages));
+    std::printf("%-12s %10s %10s %6s %6s %6s %6s\n", "phase",
+                "samples", "mean", "min", "p50", "p95", "p99");
+    for (const Phase &p : phases) {
+        std::printf("%-12s %10llu %10.2f %6llu %6llu %6llu %6llu\n",
+                    p.name,
+                    static_cast<unsigned long long>(p.h.samples()),
+                    p.h.mean(),
+                    static_cast<unsigned long long>(p.h.min()),
+                    static_cast<unsigned long long>(p.h.p50()),
+                    static_cast<unsigned long long>(p.h.p95()),
+                    static_cast<unsigned long long>(p.h.p99()));
+    }
+    std::printf("\nrecorder: %llu events recorded, %zu held, %llu "
+                "dropped (ring wrap), %zu tracks\n",
+                static_cast<unsigned long long>(rec.recorded()),
+                rec.size(),
+                static_cast<unsigned long long>(rec.dropped()),
+                rec.tracks().size());
+
+    // ---- artifact ----
+    Json params = Json::object();
+    params.set("protocol", protoName);
+    params.set("procs", procs);
+    params.set("modules", modules);
+    params.set("refs", static_cast<unsigned long long>(refs));
+    params.set("seed", static_cast<unsigned long long>(seed));
+    params.set("q", q);
+    params.set("net", netName);
+    params.set("perBlock", perBlock);
+    params.set("snoop", snoop);
+    params.set("capacity",
+               static_cast<unsigned long long>(capacity));
+
+    Json phaseJson = Json::object();
+    for (const Phase &p : phases)
+        phaseJson.set(p.name, histogramSummaryJson(p.h));
+    Json summary = Json::object();
+    summary.set("finalTick",
+                static_cast<unsigned long long>(r.finalTick));
+    summary.set("refsCompleted",
+                static_cast<unsigned long long>(r.refsCompleted));
+    summary.set("netMessages",
+                static_cast<unsigned long long>(r.netMessages));
+    summary.set("eventsRecorded",
+                static_cast<unsigned long long>(rec.recorded()));
+    summary.set("eventsDropped",
+                static_cast<unsigned long long>(rec.dropped()));
+    summary.set("phases", std::move(phaseJson));
+
+    Json meta = Json::object();
+    meta.set("wall_ms", timer.elapsedMs());
+    meta.set("threads", 1);
+    meta.set("quick", false);
+
+    std::ofstream out(outPath);
+    if (!out)
+        fail("cannot open '" + outPath + "' for writing");
+    writeTraceArtifact(out, rec, "trace_dump", params, summary, meta);
+    out << "\n";
+    if (!out)
+        fail("write to '" + outPath + "' failed");
+    std::printf("wrote %s (load it at https://ui.perfetto.dev)\n",
+                outPath.c_str());
+    return 0;
+}
