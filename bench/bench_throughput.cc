@@ -17,6 +17,7 @@
 #include "model/sharing_chain.hh"
 #include "proto/protocol_factory.hh"
 #include "sim/event_queue.hh"
+#include "timed/sharded_system.hh"
 #include "timed/timed_system.hh"
 #include "trace/synthetic.hh"
 #include "util/flat_map.hh"
@@ -274,6 +275,53 @@ BM_TimedTwoBitEndToEnd(benchmark::State &state)
     state.SetItemsProcessed(static_cast<std::int64_t>(refs));
 }
 BENCHMARK(BM_TimedTwoBitEndToEnd);
+
+/**
+ * Sharded end-to-end timed tier: the same protocol partitioned by
+ * directory home across Arg(0) shards (docs/ARCHITECTURE.md), sized
+ * up (16 procs / 8 modules) so each shard has real work.  Statistics
+ * are bit-identical to serial at every shard count; this benchmark
+ * measures what the parallel decomposition buys in refs/s — which is
+ * hardware-dependent: on a single-core runner the epoch machinery is
+ * pure overhead, the speedup only materialises with real cores (see
+ * docs/PERFORMANCE.md).
+ */
+void
+BM_TimedTwoBitSharded(benchmark::State &state)
+{
+    const unsigned shards = static_cast<unsigned>(state.range(0));
+    std::uint64_t refs = 0;
+    for (auto _ : state) {
+        TimedConfig cfg;
+        cfg.protocol = TimedProto::TwoBit;
+        cfg.numProcs = 16;
+        cfg.numModules = 8;
+        cfg.cacheGeom.sets = 32;
+        cfg.cacheGeom.ways = 4;
+        cfg.perBlockConcurrency = true;
+        cfg.network = NetKind::Crossbar;
+
+        SyntheticConfig scfg;
+        scfg.numProcs = 16;
+        scfg.q = 0.2;
+        scfg.w = 0.3;
+        scfg.sharedBlocks = 8;
+        scfg.privateBlocks = 64;
+        scfg.hotBlocks = 16;
+        scfg.seed = 0xbe7c4;
+        SyntheticStream stream(scfg);
+
+        const auto r = runTimedWorkload(
+            cfg, shards, 0,
+            [&](ProcId p) -> std::optional<MemRef> {
+                return stream.nextFor(p);
+            },
+            1000);
+        refs += r.refsCompleted;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(refs));
+}
+BENCHMARK(BM_TimedTwoBitSharded)->Arg(1)->Arg(2)->Arg(4);
 
 void
 BM_TwoBitDirectorySetGet(benchmark::State &state)

@@ -18,7 +18,15 @@
  *   dir2bsim --protocol two_bit --json run.json
  *   dir2bsim --record /tmp/t.trc --refs 10000
  *   dir2bsim --trace /tmp/t.trc --protocol classical
+ *   dir2bsim --timed --protocol tb --procs 8 --refs 20000
+ *   dir2bsim --timed --shards 4 --protocol fm --refs 20000
  *   dir2bsim --list-protocols
+ *
+ * --timed switches from the functional tier to the discrete-event
+ * tier (latencies, contention, the coherence oracle on every
+ * completion); there --refs counts references PER PROCESSOR and
+ * --shards N > 1 partitions the run by directory home across worker
+ * threads with bit-identical statistics (docs/ARCHITECTURE.md).
  */
 
 #include <chrono>
@@ -34,6 +42,7 @@
 #include "proto/protocol_factory.hh"
 #include "report/report.hh"
 #include "system/func_system.hh"
+#include "timed/sharded_system.hh"
 #include "trace/synthetic.hh"
 #include "trace/trace_io.hh"
 #include "trace/trace_stats.hh"
@@ -68,6 +77,8 @@ struct Options
     bool noOracle = false;
     bool invariants = false;
     bool analyze = false;
+    bool timed = false;
+    unsigned shards = 1;
 };
 
 void
@@ -97,6 +108,12 @@ usage(const char *argv0)
         "  --no-oracle         skip coherence checking (faster)\n"
         "  --analyze           print trace statistics, don't simulate\n"
         "  --invariants        deep-check structures every 1k refs\n"
+        "  --timed             run the discrete-event tier instead\n"
+        "                      (protocols tb|fm|yf; --refs is per\n"
+        "                      processor there)\n"
+        "  --shards N          with --timed: shard the run by home\n"
+        "                      across N wheels/threads (default 1;\n"
+        "                      statistics are bit-identical)\n"
         "  --list-protocols    print registered protocol names\n",
         argv0);
 }
@@ -171,6 +188,13 @@ parse(int argc, char **argv)
             o.threads = static_cast<unsigned>(v);
         } else if (arg == "--no-oracle") {
             o.noOracle = true;
+        } else if (arg == "--timed") {
+            o.timed = true;
+        } else if (arg == "--shards") {
+            const long v = std::atol(need(i));
+            if (v <= 0)
+                DIR2B_FATAL("--shards wants a positive integer");
+            o.shards = static_cast<unsigned>(v);
         } else if (arg == "--analyze") {
             o.analyze = true;
         } else if (arg == "--invariants") {
@@ -318,12 +342,124 @@ runSweep(const Options &o)
     return 0;
 }
 
+int
+runTimed(const Options &o)
+{
+    if (!o.tracePath.empty() || !o.recordPath.empty() || o.analyze)
+        DIR2B_FATAL("--timed runs synthetic workloads only");
+
+    TimedConfig cfg;
+    if (o.protocol == "two_bit" || o.protocol == "tb")
+        cfg.protocol = TimedProto::TwoBit;
+    else if (o.protocol == "full_map" || o.protocol == "fm")
+        cfg.protocol = TimedProto::FullMap;
+    else if (o.protocol == "yen_fu" || o.protocol == "yf")
+        cfg.protocol = TimedProto::YenFu;
+    else
+        DIR2B_FATAL("--timed knows two_bit|full_map|yen_fu "
+                    "(tb|fm|yf), not '", o.protocol, "'");
+    cfg.numProcs = o.procs;
+    cfg.numModules = o.modules;
+    cfg.cacheGeom.sets = o.sets;
+    cfg.cacheGeom.ways = o.ways;
+    cfg.perBlockConcurrency = true;
+    cfg.network = NetKind::Crossbar;
+
+    SyntheticConfig scfg;
+    scfg.numProcs = o.procs;
+    scfg.q = o.q;
+    scfg.w = o.w;
+    scfg.sharedBlocks = o.sharedBlocks;
+    scfg.sharedLocality = o.locality;
+    scfg.privateBlocks = 96;
+    scfg.hotBlocks = 24;
+    scfg.seed = o.seed;
+    SyntheticStream stream(scfg);
+
+    const auto start = std::chrono::steady_clock::now();
+    const TimedRunResult r = runTimedWorkload(
+        cfg, o.shards, o.threads,
+        [&](ProcId p) -> std::optional<MemRef> {
+            return stream.nextFor(p);
+        },
+        o.refs);
+
+    std::printf("# dir2bsim timed: protocol=%s procs=%u cache=%zux%zu "
+                "modules=%u shards=%u refs/proc=%llu\n",
+                o.protocol.c_str(), o.procs, o.sets, o.ways, o.modules,
+                o.shards, static_cast<unsigned long long>(o.refs));
+    std::printf("%-24s %12llu\n", "cycles",
+                static_cast<unsigned long long>(r.finalTick));
+    std::printf("%-24s %12llu\n", "refsCompleted",
+                static_cast<unsigned long long>(r.refsCompleted));
+    std::printf("%-24s %12llu\n", "eventsExecuted",
+                static_cast<unsigned long long>(r.eventsExecuted));
+    std::printf("%-24s %12.2f\n", "avgLatency", r.avgLatency);
+    std::printf("%-24s %12llu\n", "latencyP99",
+                static_cast<unsigned long long>(r.latencyP99));
+    std::printf("%-24s %12llu\n", "netMessages",
+                static_cast<unsigned long long>(r.netMessages));
+    std::printf("%-24s %12llu\n", "broadcasts",
+                static_cast<unsigned long long>(r.broadcasts));
+    std::printf("%-24s %12llu\n", "netWaitCycles",
+                static_cast<unsigned long long>(r.netWaitCycles));
+    std::printf("%-24s %12llu\n", "stolenCycles",
+                static_cast<unsigned long long>(r.stolenCycles));
+    std::printf("# coherence: oracle checked %llu reads, "
+                "%llu writes\n",
+                static_cast<unsigned long long>(r.readsChecked),
+                static_cast<unsigned long long>(r.writesRecorded));
+
+    if (!o.jsonPath.empty()) {
+        Json cells = Json::array();
+        Json c = Json::object();
+        c.set("section", "timed");
+        c.set("procs", o.procs);
+        c.set("shards", o.shards);
+        c.set("cycles", static_cast<unsigned long long>(r.finalTick));
+        c.set("refs",
+              static_cast<unsigned long long>(r.refsCompleted));
+        c.set("messages",
+              static_cast<unsigned long long>(r.netMessages));
+        c.set("broadcasts",
+              static_cast<unsigned long long>(r.broadcasts));
+        c.set("netWaitCycles",
+              static_cast<unsigned long long>(r.netWaitCycles));
+        c.set("stolenCycles",
+              static_cast<unsigned long long>(r.stolenCycles));
+        c.set("avgLatency", r.avgLatency);
+        c.set("latencyP50",
+              static_cast<unsigned long long>(r.latencyP50));
+        c.set("latencyP99",
+              static_cast<unsigned long long>(r.latencyP99));
+        cells.push(std::move(c));
+        Json params = configJson(o);
+        params.set("shards", o.shards);
+        params.set("timed", true);
+        Json artifact = makeSweepArtifact("dir2bsim", std::move(params),
+                                          std::move(cells));
+        const auto wall =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        stampMeta(artifact,
+                  o.threads ? o.threads : defaultThreadCount(), wall,
+                  false);
+        writeArtifact(o.jsonPath, artifact);
+        std::printf("wrote %s (1 cell)\n", o.jsonPath.c_str());
+    }
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     const Options o = parse(argc, argv);
+
+    if (o.timed)
+        return runTimed(o);
 
     if (!o.sweepProcs.empty())
         return runSweep(o);

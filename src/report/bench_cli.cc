@@ -23,12 +23,15 @@ parseBenchOptions(int argc, char **argv, const std::string &bench,
     auto usage = [&]() {
         std::printf(
             "%s\n\n"
-            "usage: %s [--threads N] [--json PATH] [--quick]\n"
+            "usage: %s [--threads N] [--json PATH] [--quick] "
+            "[--shards N]\n"
             "  --threads N   sweep-pool width (default: DIR2B_THREADS\n"
             "                env var, else all hardware threads)\n"
             "  --json PATH   also write the machine-readable artifact\n"
             "                (schema: docs/METRICS.md)\n"
-            "  --quick       ~10x fewer references per cell; same grid\n",
+            "  --quick       ~10x fewer references per cell; same grid\n"
+            "  --shards N    shard each timed run N ways (default 1;\n"
+            "                statistics are bit-identical either way)\n",
             blurb.c_str(), bench.c_str());
     };
     auto need = [&](int &i) -> const char * {
@@ -47,6 +50,11 @@ parseBenchOptions(int argc, char **argv, const std::string &bench,
             o.jsonPath = need(i);
         } else if (arg == "--quick") {
             o.quick = true;
+        } else if (arg == "--shards") {
+            const long v = std::atol(need(i));
+            if (v <= 0)
+                DIR2B_FATAL("--shards wants a positive integer");
+            o.shards = static_cast<unsigned>(v);
         } else if (arg == "--help" || arg == "-h") {
             usage();
             std::exit(0);

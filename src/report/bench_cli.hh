@@ -2,7 +2,7 @@
  * @file
  * The common command line of the table benches.
  *
- * Every bench/ grid binary accepts the same three knobs:
+ * Every bench/ grid binary accepts the same knobs:
  *
  *   --threads N   pool width for the cell sweep (0/default: the
  *                 DIR2B_THREADS environment knob, else all cores)
@@ -10,6 +10,11 @@
  *                 (docs/METRICS.md) next to the text tables
  *   --quick       shrink per-cell reference counts ~10x for smoke
  *                 runs; the *grid* (cell count) is unchanged
+ *   --shards N    timed-tier engine shards per run (default 1 =
+ *                 serial; N > 1 runs each timed system sharded by
+ *                 directory home — bit-identical statistics, see
+ *                 src/timed/sharded_system.hh).  Benches without a
+ *                 timed tier accept and ignore it.
  *
  * parseBenchOptions() also wires --threads into
  * setDefaultThreadCount() so nested library code sees the same width.
@@ -34,6 +39,7 @@ struct BenchOptions
     unsigned threads = 0; ///< 0 = defaultThreadCount()
     std::string jsonPath; ///< empty = no artifact
     bool quick = false;
+    unsigned shards = 1;  ///< timed-engine shards per run (1 = serial)
 
     /** Per-cell reference budget: full size, or ~1/10 under --quick
      *  (floored so tiny grids still exercise every code path). */

@@ -28,6 +28,17 @@
  *    early-scheduled event behind a later direct insert, each drained
  *    slot is verified (and, rarely, re-sorted) by sequence number
  *    before firing.
+ *
+ * Sharded (conservative-parallel) extensions: a sharded timed run
+ * (timed/sharded_system.hh) gives every shard its own EventQueue and
+ * advances them in lookahead-bounded epochs.  runUntil() executes
+ * strictly below a horizon; beginEpoch() attaches an EpochLog that
+ * records every schedule call and external side effect of every fired
+ * event; scheduleAtKeyed() and rewriteKey() let the inter-epoch merge
+ * assign the exact tie-break keys the serial engine would have used,
+ * so a sharded run drains every slot in the serial FIFO order.  None
+ * of these paths are active in a plain run(): serial behaviour is
+ * bit-identical to the pre-shard kernel (the golden digests pin it).
  */
 
 #ifndef DIR2B_SIM_EVENT_QUEUE_HH
@@ -40,6 +51,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/shard_log.hh"
 #include "util/inline_function.hh"
 #include "util/logging.hh"
 #include "util/types.hh"
@@ -80,6 +92,34 @@ class EventQueue
         Node &n = arena_[idx];
         n.when = when;
         n.seq = seq_++;
+        n.id = ++idSrc_;
+        n.cb = std::forward<F>(cb);
+        placeNode(idx);
+        ++pending_;
+        if (log_)
+            appendCall(EpochLog::CallKind::Schedule, 0, n.id, idx);
+    }
+
+    /**
+     * Schedule a callback under an explicit tie-break key instead of
+     * the next sequence number.  Equal-tick events still drain in
+     * ascending key order, so the inter-epoch merge of a sharded run
+     * uses this to inject cross-shard deliveries (and the initial
+     * per-processor kicks) with exactly the keys the serial engine
+     * would have assigned.  Never logged: injections happen at the
+     * barrier, outside any epoch.
+     */
+    template <typename F>
+    void
+    scheduleAtKeyed(Tick when, std::uint64_t key, F &&cb)
+    {
+        DIR2B_ASSERT(when >= now_, "scheduling event in the past: ", when,
+                     " < ", now_);
+        const std::uint32_t idx = allocNode();
+        Node &n = arena_[idx];
+        n.when = when;
+        n.seq = key;
+        n.id = ++idSrc_;
         n.cb = std::forward<F>(cb);
         placeNode(idx);
         ++pending_;
@@ -103,11 +143,104 @@ class EventQueue
     {
         std::uint64_t budget = maxEvents;
         while (pending_ != 0) {
-            advance();
+            advance<false>(0);
             if (!drainCurrentSlot(budget))
                 return false;
         }
         return true;
+    }
+
+    /**
+     * Execute every pending event with when < horizon (one epoch of a
+     * sharded run).  now() never advances to or beyond the horizon, so
+     * a barrier may afterwards inject events at any tick >= horizon.
+     * @return false when the budget ran out before the horizon.
+     */
+    bool
+    runUntil(Tick horizon, std::uint64_t &budget)
+    {
+        while (pending_ != 0) {
+            if (!advance<true>(horizon))
+                return true; // nothing left below the horizon
+            if (!drainCurrentSlot(budget))
+                return false;
+        }
+        return true;
+    }
+
+    /**
+     * A lower bound on the when of the earliest pending event (exact
+     * when that event sits in level 0 or the overflow heap; a bucket
+     * start otherwise); maxTick when the queue is empty.  Lookahead
+     * horizons derive from the global minimum of these bounds — a
+     * bound that is merely low costs a shorter epoch, never an order
+     * violation.
+     */
+    Tick
+    nextTickLowerBound() const
+    {
+        if (pending_ == 0)
+            return maxTick;
+        return minCandidate().when;
+    }
+
+    /** Start logging an epoch: every schedule call and external side
+     *  effect of every fired event is appended to log; freshly
+     *  scheduled events draw provisional keys from keyBase up. */
+    void
+    beginEpoch(EpochLog *log, std::uint64_t keyBase)
+    {
+        DIR2B_ASSERT(log != nullptr, "beginEpoch without a log");
+        log_ = log;
+        seq_ = keyBase;
+        curId_ = 0;
+    }
+
+    /** Stop epoch logging (the barrier owns the log afterwards). */
+    void
+    endEpoch()
+    {
+        log_ = nullptr;
+    }
+
+    /** Record an external side effect (network send, oracle
+     *  completion) of the currently executing event; aux indexes the
+     *  caller's own side-effect table. */
+    void
+    logExternalCall(std::uint32_t aux)
+    {
+        appendCall(EpochLog::CallKind::External, aux, 0, nil);
+    }
+
+    /**
+     * Replace a pending node's tie-break key with the final key the
+     * serial engine would have assigned.  A no-op when the node
+     * already fired (its arena slot was freed or reused: the unique id
+     * no longer matches).  Callers must rebuildOverflowHeap() after a
+     * batch of rewrites, since keys order the overflow heap.
+     */
+    bool
+    rewriteKey(std::uint32_t nodeIdx, std::uint64_t id, std::uint64_t key)
+    {
+        if (nodeIdx >= arena_.size())
+            return false;
+        Node &n = arena_[nodeIdx];
+        if (n.id != id)
+            return false;
+        n.seq = key;
+        return true;
+    }
+
+    /** Restore the overflow-heap invariant after rewriteKey calls. */
+    void
+    rebuildOverflowHeap()
+    {
+        if (over_.size() > 1) {
+            std::make_heap(over_.begin(), over_.end(),
+                           [this](std::uint32_t a, std::uint32_t b) {
+                               return laterThan(a, b);
+                           });
+        }
     }
 
     /** Drop all pending events (end of a run). */
@@ -126,6 +259,9 @@ class EventQueue
         seq_ = 0;
         executed_ = 0;
         pending_ = 0;
+        log_ = nullptr;
+        idSrc_ = 0;
+        curId_ = 0;
     }
 
   private:
@@ -141,6 +277,9 @@ class EventQueue
     {
         Tick when = 0;
         std::uint64_t seq = 0;
+        /** Unique per schedule call, 0 while free: lets rewriteKey
+         *  reject a slot that was freed or reused since logging. */
+        std::uint64_t id = 0;
         std::uint32_t next = nil;
         Callback cb;
     };
@@ -169,8 +308,25 @@ class EventQueue
     void
     freeNode(std::uint32_t idx)
     {
+        arena_[idx].id = 0;
         arena_[idx].next = freeHead_;
         freeHead_ = idx;
+    }
+
+    /** Append a call record for the currently executing event. */
+    void
+    appendCall(EpochLog::CallKind kind, std::uint32_t aux,
+               std::uint64_t childId, std::uint32_t nodeIdx)
+    {
+        DIR2B_ASSERT(log_ && curId_ != 0,
+                     "epoch log call outside an executing event");
+        if (log_->execs.empty() || log_->execs.back().id != curId_) {
+            log_->execs.push_back(
+                {now_, curKey_, curId_,
+                 static_cast<std::uint32_t>(log_->calls.size()), 0});
+        }
+        log_->calls.push_back({kind, aux, nodeIdx, childId});
+        ++log_->execs.back().numCalls;
     }
 
     /**
@@ -237,21 +393,87 @@ class EventQueue
         return head;
     }
 
+    struct Candidate
+    {
+        Tick when;
+        int level;
+    };
+
+    /**
+     * The earliest jump candidate: a level-0 slot gives an exact time
+     * (level-0 deltas are < 64, so circular distance is absolute),
+     * while a level>=1 bucket gives only its start — a lower bound on
+     * everything in it — and the overflow top is exact.  Requires
+     * pending_ > 0.
+     */
+    Candidate
+    minCandidate() const
+    {
+        Tick best = ~Tick{0};
+        int bestLevel = -1;
+        if (!over_.empty()) {
+            best = arena_[over_.front()].when;
+            bestLevel = levelCount; // sentinel: jump-and-migrate
+        }
+        for (unsigned lv = levelCount - 1; lv >= 1; --lv) {
+            if (!levels_[lv].occ)
+                continue;
+            const Tick cur = now_ >> (slotBits * lv);
+            const auto curSlot = static_cast<unsigned>(
+                cur & (slotCount - 1));
+            const unsigned d = static_cast<unsigned>(
+                std::countr_zero(
+                    std::rotr(levels_[lv].occ, curSlot)));
+            // d == 0 (the current-digit bucket is occupied) can
+            // happen right after a jump that landed exactly on a
+            // bucket boundary via a different candidate; such a
+            // bucket must cascade before anything executes, so it
+            // bids now_ itself, the unbeatable minimum.
+            const Tick start =
+                d == 0 ? now_ : (cur + d) << (slotBits * lv);
+            if (start < best) {
+                best = start;
+                bestLevel = static_cast<int>(lv);
+            }
+        }
+        if (levels_[0].occ) {
+            const auto curSlot =
+                static_cast<unsigned>(now_ & (slotCount - 1));
+            const unsigned d = static_cast<unsigned>(
+                std::countr_zero(
+                    std::rotr(levels_[0].occ, curSlot)));
+            const Tick cand = now_ + d;
+            if (cand < best) {
+                best = cand;
+                bestLevel = 0;
+            }
+        }
+        DIR2B_ASSERT(bestLevel >= 0, "pending events but no slot");
+        DIR2B_ASSERT(best >= now_, "event queue time warp");
+        return {best, bestLevel};
+    }
+
     /**
      * Move now_ to the next event time, cascading higher-level
      * buckets and migrating overflow nodes until the level-0 slot at
      * now_ holds the earliest pending events.  Requires pending_ > 0.
      *
-     * Correctness hinges on candidate selection: a level-0 slot gives
-     * an exact time (level-0 deltas are < 64, so circular distance is
-     * absolute), while a level>=1 bucket gives only its start — a
-     * lower bound on everything in it.  The jump target is the global
-     * minimum over both kinds, and a bucket chosen at its lower bound
-     * is cascaded and re-evaluated rather than executed, so a level-0
-     * jump can never skip over an earlier event hiding in a bucket.
+     * Correctness hinges on candidate selection (minCandidate): the
+     * jump target is the global minimum over exact times and bucket
+     * lower bounds, and a bucket chosen at its lower bound is cascaded
+     * and re-evaluated rather than executed, so a level-0 jump can
+     * never skip over an earlier event hiding in a bucket.
+     *
+     * Bounded (the sharded epoch path): returns false — with now_
+     * strictly below the horizon — as soon as the candidate minimum
+     * reaches the horizon.  Cascades performed before that point only
+     * refine bucket bounds, so nextTickLowerBound() grows across
+     * epochs and the epoch loop always makes progress.  Returns true
+     * when positioned on a drainable level-0 slot.
      */
-    void
-    advance()
+    template <bool Bounded>
+    bool
+    advance(Tick horizon)
     {
         for (;;) {
             while (!over_.empty() &&
@@ -267,59 +489,21 @@ class EventQueue
                 placeNode(idx);
             }
 
-            Tick best = ~Tick{0};
-            int bestLevel = -1;
-            if (!over_.empty()) {
-                best = arena_[over_.front()].when;
-                bestLevel = levelCount; // sentinel: jump-and-migrate
-            }
-            for (unsigned lv = levelCount - 1; lv >= 1; --lv) {
-                if (!levels_[lv].occ)
-                    continue;
-                const Tick cur = now_ >> (slotBits * lv);
-                const auto curSlot = static_cast<unsigned>(
-                    cur & (slotCount - 1));
-                const unsigned d = static_cast<unsigned>(
-                    std::countr_zero(
-                        std::rotr(levels_[lv].occ, curSlot)));
-                // d == 0 (the current-digit bucket is occupied) can
-                // happen right after a jump that landed exactly on a
-                // bucket boundary via a different candidate; such a
-                // bucket must cascade before anything executes, so it
-                // bids now_ itself, the unbeatable minimum.
-                const Tick start =
-                    d == 0 ? now_ : (cur + d) << (slotBits * lv);
-                if (start < best) {
-                    best = start;
-                    bestLevel = static_cast<int>(lv);
-                }
-            }
-            if (levels_[0].occ) {
-                const auto curSlot =
-                    static_cast<unsigned>(now_ & (slotCount - 1));
-                const unsigned d = static_cast<unsigned>(
-                    std::countr_zero(
-                        std::rotr(levels_[0].occ, curSlot)));
-                const Tick cand = now_ + d;
-                if (cand < best) {
-                    best = cand;
-                    bestLevel = 0;
-                }
-            }
-            DIR2B_ASSERT(bestLevel >= 0, "pending events but no slot");
-            DIR2B_ASSERT(best >= now_, "event queue time warp");
+            const Candidate c = minCandidate();
+            if (Bounded && c.when >= horizon)
+                return false;
 
-            now_ = best;
-            if (bestLevel == 0)
-                return;
-            if (bestLevel == static_cast<int>(levelCount))
+            now_ = c.when;
+            if (c.level == 0)
+                return true;
+            if (c.level == static_cast<int>(levelCount))
                 continue; // overflow top: migrate at new now_
             // Cascade the chosen bucket into lower levels, in list
             // order so equal-tick FIFO is preserved where possible.
             const auto slot = static_cast<std::size_t>(
-                (now_ >> (slotBits * bestLevel)) & (slotCount - 1));
+                (now_ >> (slotBits * c.level)) & (slotCount - 1));
             std::uint32_t n =
-                detachSlot(static_cast<unsigned>(bestLevel), slot);
+                detachSlot(static_cast<unsigned>(c.level), slot);
             while (n != nil) {
                 const std::uint32_t next = arena_[n].next;
                 placeNode(n);
@@ -367,6 +551,10 @@ class EventQueue
                 }
                 --budget;
                 const std::uint32_t idx = scratch_[i];
+                if (log_) {
+                    curId_ = arena_[idx].id;
+                    curKey_ = arena_[idx].seq;
+                }
                 Callback cb = std::move(arena_[idx].cb);
                 freeNode(idx);
                 --pending_;
@@ -408,6 +596,12 @@ class EventQueue
     std::uint64_t seq_ = 0;
     std::uint64_t executed_ = 0;
     std::size_t pending_ = 0;
+
+    /** Epoch-mode state (null/idle during a plain serial run). */
+    EpochLog *log_ = nullptr;
+    std::uint64_t idSrc_ = 0;
+    std::uint64_t curId_ = 0;
+    std::uint64_t curKey_ = 0;
 };
 
 } // namespace dir2b

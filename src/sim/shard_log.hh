@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Execution log of one shard epoch (conservative parallel simulation).
+ *
+ * A sharded timed run (timed/sharded_system.hh) advances every shard's
+ * private EventQueue independently up to a lookahead horizon, then
+ * replays the epoch's side effects single-threaded in exact serial
+ * order.  The replay needs to know, for every event that fired,
+ *
+ *  - WHEN it fired and under which tie-break key (so an S-way merge
+ *    over the per-shard logs visits events in the order the serial
+ *    engine would have executed them), and
+ *  - WHAT it scheduled or emitted, in call order (so each schedule
+ *    call can be re-keyed with the key the serial engine would have
+ *    assigned, and each network send / oracle completion can be
+ *    replayed against the shared state).
+ *
+ * The EventQueue appends to this log while an epoch is active
+ * (EventQueue::beginEpoch); the merge in ShardedTimedSystem consumes
+ * it.  Both halves of an entry pair are plain indices into flat
+ * vectors, so a log is cheap to clear and reuse every epoch.
+ */
+
+#ifndef DIR2B_SIM_SHARD_LOG_HH
+#define DIR2B_SIM_SHARD_LOG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace dir2b
+{
+
+/** Per-epoch record of everything one shard's wheel executed. */
+struct EpochLog
+{
+    enum class CallKind : std::uint8_t
+    {
+        /** A scheduleAt()/schedule() call: a child event was created
+         *  under a provisional key and may need re-keying. */
+        Schedule,
+        /** An external side effect (network send, oracle completion)
+         *  deferred to the barrier; `aux` indexes the owner's own
+         *  side-effect table. */
+        External,
+    };
+
+    /** One side-effecting call made while an event executed. */
+    struct Call
+    {
+        CallKind kind;
+        /** External: index into the owner's side-effect table. */
+        std::uint32_t aux = 0;
+        /** Schedule: arena slot of the child node at creation. */
+        std::uint32_t nodeIdx = 0;
+        /** Schedule: unique id of the child node (guards re-keying
+         *  against arena-slot reuse). */
+        std::uint64_t childId = 0;
+    };
+
+    /** One executed event that made at least one logged call. */
+    struct Exec
+    {
+        Tick tick = 0;
+        /** The key the event fired under: final if it was scheduled
+         *  before this epoch (or injected at a barrier), provisional
+         *  if it was scheduled within the epoch. */
+        std::uint64_t key = 0;
+        /** The fired node's unique id (matches the creating call's
+         *  childId when the event was scheduled this epoch). */
+        std::uint64_t id = 0;
+        /** Slice [firstCall, firstCall + numCalls) of `calls`. */
+        std::uint32_t firstCall = 0;
+        std::uint32_t numCalls = 0;
+    };
+
+    std::vector<Exec> execs;
+    std::vector<Call> calls;
+
+    void
+    clear()
+    {
+        execs.clear();
+        calls.clear();
+    }
+};
+
+} // namespace dir2b
+
+#endif // DIR2B_SIM_SHARD_LOG_HH

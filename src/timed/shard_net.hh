@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Deferring network proxy for one shard of a sharded timed run.
+ *
+ * Every cross-entity message in the timed tier travels at least
+ * TimedConfig::netLatency ticks, and a shard epoch executes strictly
+ * less than one lookahead (= netLatency) beyond the global minimum
+ * next-event tick — so no message sent during an epoch can be
+ * delivered within it, on ANY shard.  That is the conservative-PDES
+ * argument that lets a ShardNet defer every send to the barrier: it
+ * books the sender-side statistics and trace instants exactly as the
+ * serial network would (the sender's clock reads the same tick), logs
+ * the message in the shard's side-effect table, and leaves capacity
+ * claiming + delivery scheduling to the barrier's serial-order replay
+ * (ShardedTimedSystem::mergeEpoch), which reproduces the serial
+ * engine's contention resolution and tie-break keys bit-for-bit.
+ */
+
+#ifndef DIR2B_TIMED_SHARD_NET_HH
+#define DIR2B_TIMED_SHARD_NET_HH
+
+#include <vector>
+
+#include "timed/timed_net.hh"
+
+namespace dir2b
+{
+
+/** One deferred side effect of a shard epoch (consumed at the
+ *  barrier, in serial event order). */
+struct ShardExternal
+{
+    enum class Kind : std::uint8_t
+    {
+        /** A point-to-point send (also each leg of a non-bus
+         *  broadcast, exactly as the serial network fans out). */
+        Send,
+        /** A bus broadcast: one shared-medium transaction delivering
+         *  to every listed destination in the same slot. */
+        BusBroadcast,
+        /** A processor-visible completion awaiting its oracle check
+         *  (checks must replay in global completion order). */
+        Completion,
+    };
+
+    Kind kind = Kind::Send;
+    /* Send / BusBroadcast */
+    unsigned src = 0;
+    unsigned dst = 0;
+    Message msg{};
+    std::vector<unsigned> dsts; ///< BusBroadcast fan-out, in send order
+    /* Completion */
+    ProcId proc = 0;
+    Addr addr = 0;
+    Value value = 0;
+    bool isWrite = false;
+};
+
+/** TimedNetwork that defers delivery to the epoch barrier. */
+class ShardNet final : public TimedNetwork
+{
+  public:
+    ShardNet(EventQueue &eq, unsigned endpoints, Tick latency,
+             NetKind kind, TraceRecorder *trc,
+             std::vector<ShardExternal> &externals)
+        : TimedNetwork(eq, endpoints, latency, kind, trc),
+          externals_(externals)
+    {
+    }
+
+    void
+    send(unsigned src, unsigned dst, Message msg) override
+    {
+        // The destination may live on another shard, so unlike the
+        // serial network only the endpoint RANGE is checked here;
+        // deliver() re-checks the handler on the owning shard.
+        DIR2B_ASSERT(dst < handlers_.size(),
+                     "send to unknown endpoint ", dst);
+        ++messages_;
+        if (msg.kind == MsgKind::GetData ||
+            msg.kind == MsgKind::PutData)
+            ++dataMsgs_;
+        DIR2B_TRC(trc_, instant(eq_.now(), trk_, mnemonic(msg.kind),
+                                msg.addr, src, dst));
+
+        eq_.logExternalCall(
+            static_cast<std::uint32_t>(externals_.size()));
+        ShardExternal ex;
+        ex.kind = ShardExternal::Kind::Send;
+        ex.src = src;
+        ex.dst = dst;
+        ex.msg = msg;
+        externals_.push_back(std::move(ex));
+    }
+
+    void
+    broadcast(unsigned src, const std::vector<unsigned> &dsts,
+              Message msg) override
+    {
+        ++broadcasts_;
+        msg.broadcast = true;
+
+        if (kind_ == NetKind::Bus) {
+            // One bus transaction, every listener in the same slot —
+            // logged as a single record so the barrier claims the bus
+            // once, exactly like the serial broadcast.
+            for (unsigned dst : dsts) {
+                DIR2B_ASSERT(dst < handlers_.size(),
+                             "broadcast to unknown endpoint ", dst);
+                ++messages_;
+                DIR2B_TRC(trc_, instant(eq_.now(), trk_,
+                                        mnemonic(msg.kind), msg.addr,
+                                        src, dst));
+            }
+            eq_.logExternalCall(
+                static_cast<std::uint32_t>(externals_.size()));
+            ShardExternal ex;
+            ex.kind = ShardExternal::Kind::BusBroadcast;
+            ex.src = src;
+            ex.msg = msg;
+            ex.dsts = dsts;
+            externals_.push_back(std::move(ex));
+            return;
+        }
+
+        for (unsigned dst : dsts)
+            send(src, dst, msg);
+    }
+
+  private:
+    std::vector<ShardExternal> &externals_;
+};
+
+} // namespace dir2b
+
+#endif // DIR2B_TIMED_SHARD_NET_HH

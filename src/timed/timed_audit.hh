@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared end-of-run logic of the timed engines.
+ *
+ * The serial TimedSystem and the sharded ShardedTimedSystem must agree
+ * bit-for-bit on everything digestable — final-state auditing, result
+ * aggregation, histogram merging, and stats dumping — so those passes
+ * live here as free functions over the flat controller tables both
+ * engines keep (caches indexed by processor, directory controllers by
+ * module, regardless of which shard owns them).
+ */
+
+#ifndef DIR2B_TIMED_TIMED_AUDIT_HH
+#define DIR2B_TIMED_TIMED_AUDIT_HH
+
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "timed/timed_system.hh"
+
+namespace dir2b
+{
+
+/** Merge one per-cache histogram across every cache, in proc order. */
+Histogram
+mergedCacheHistogram(
+    const std::vector<std::unique_ptr<TwoBitCacheCtrl>> &caches,
+    Histogram CacheCtrlStats::*h);
+
+/** Merge one per-controller histogram across every module. */
+Histogram
+mergedDirHistogram(
+    const std::vector<std::unique_ptr<TimedDirCtrl>> &dirs,
+    Histogram DirCtrlStats::*h);
+
+/**
+ * Final conservation pass at quiesce: at most one dirty copy per
+ * block, clean copies equal memory, and every written block ends at
+ * the newest version the oracle recorded.  Block a's home module is
+ * a % dirs.size().
+ */
+void auditTimedFinalState(
+    const std::vector<std::unique_ptr<TwoBitCacheCtrl>> &caches,
+    const std::vector<std::unique_ptr<TimedDirCtrl>> &dirs,
+    const TimedOracle &oracle);
+
+/**
+ * Fold per-component statistics into a TimedRunResult.  The caller
+ * supplies the engine-level totals (final tick, events, network
+ * counters); this fills the controller sums, the latency average and
+ * the merged percentiles — iterating in proc/module order so the
+ * floating-point sums are identical for both engines.
+ */
+TimedRunResult aggregateTimedResult(
+    const std::vector<std::unique_ptr<TwoBitCacheCtrl>> &caches,
+    const std::vector<std::unique_ptr<TimedDirCtrl>> &dirs,
+    const TimedOracle &oracle, Tick finalTick,
+    std::uint64_t refsCompleted, std::uint64_t eventsExecuted,
+    std::uint64_t netMessages, std::uint64_t broadcasts,
+    std::uint64_t netWaitCycles);
+
+/** gem5-style "group.stat value # description" dump of every cache
+ *  and controller. */
+void dumpTimedStats(
+    std::ostream &os,
+    const std::vector<std::unique_ptr<TwoBitCacheCtrl>> &caches,
+    const std::vector<std::unique_ptr<TimedDirCtrl>> &dirs);
+
+} // namespace dir2b
+
+#endif // DIR2B_TIMED_TIMED_AUDIT_HH

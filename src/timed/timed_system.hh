@@ -124,9 +124,6 @@ class TimedSystem
   private:
     void issueNext(ProcId p);
 
-    /** Final conservation pass: every block's end value is newest. */
-    void checkFinalState();
-
     TimedConfig cfg_;
     EventQueue eq_;
     std::unique_ptr<TimedNetwork> net_;

@@ -21,6 +21,8 @@ SyntheticStream::SyntheticStream(const SyntheticConfig &cfg) : cfg_(cfg)
     for (ProcId p = 0; p < cfg_.numProcs; ++p)
         rngs_.push_back(seeder.split());
     lastShared_.assign(cfg_.numProcs, invalidAddr);
+    total_.assign(cfg_.numProcs, 0);
+    shared_.assign(cfg_.numProcs, 0);
 }
 
 MemRef
@@ -28,12 +30,12 @@ SyntheticStream::nextFor(ProcId p)
 {
     DIR2B_ASSERT(p < cfg_.numProcs, "nextFor unknown processor ", p);
     Rng &rng = rngs_[p];
-    ++total_;
+    ++total_[p];
 
     if (rng.chance(cfg_.q)) {
         // Writeable shared block: re-reference the previous one with
         // probability sharedLocality, else uniform over the S blocks.
-        ++shared_;
+        ++shared_[p];
         Addr a;
         if (lastShared_[p] != invalidAddr &&
             rng.chance(cfg_.sharedLocality)) {
@@ -67,9 +69,15 @@ double
 SyntheticStream::measuredSharedFraction()
     const
 {
-    return total_ ? static_cast<double>(shared_) /
-                        static_cast<double>(total_)
-                  : 0.0;
+    std::uint64_t total = 0;
+    std::uint64_t shared = 0;
+    for (ProcId p = 0; p < cfg_.numProcs; ++p) {
+        total += total_[p];
+        shared += shared_[p];
+    }
+    return total ? static_cast<double>(shared) /
+                       static_cast<double>(total)
+                 : 0.0;
 }
 
 } // namespace dir2b

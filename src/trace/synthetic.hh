@@ -74,7 +74,12 @@ class SyntheticStream : public RefStream
 
     std::optional<MemRef> next() override;
 
-    /** Generate the next reference for a specific processor. */
+    /**
+     * Generate the next reference for a specific processor.  All
+     * mutable state is per-processor, so concurrent calls for
+     * DISTINCT processors are safe (the sharded timed engine issues
+     * from one thread per shard).
+     */
     MemRef nextFor(ProcId p);
 
     const SyntheticConfig &config() const { return cfg_; }
@@ -87,8 +92,9 @@ class SyntheticStream : public RefStream
     std::vector<Rng> rngs_;
     std::vector<Addr> lastShared_;
     ProcId turn_ = 0;
-    std::uint64_t total_ = 0;
-    std::uint64_t shared_ = 0;
+    /** Per-processor tallies (no cross-thread sharing in nextFor). */
+    std::vector<std::uint64_t> total_;
+    std::vector<std::uint64_t> shared_;
 };
 
 } // namespace dir2b

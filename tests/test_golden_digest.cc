@@ -19,6 +19,7 @@
 
 #include <cstdint>
 
+#include "timed/sharded_system.hh"
 #include "timed/timed_system.hh"
 #include "trace/synthetic.hh"
 
@@ -38,9 +39,20 @@ fold(std::uint64_t h, std::uint64_t x)
     return h;
 }
 
-/** Run one fixed-seed timed configuration and digest its statistics. */
+std::uint64_t digestStats(const TimedRunResult &r,
+                          const TwoBitCacheCtrl *const *caches,
+                          const TimedDirCtrl *const *dirs,
+                          const TimedConfig &cfg);
+
+/**
+ * Run one fixed-seed timed configuration and digest its statistics.
+ * shards == 1 runs the serial TimedSystem; shards > 1 runs the
+ * ShardedTimedSystem, which must produce the SAME digest (the sharded
+ * engine's determinism contract is bit-identity with serial).
+ */
 std::uint64_t
-digestRun(TimedProto proto, bool perBlock, NetKind net)
+digestRun(TimedProto proto, bool perBlock, NetKind net,
+          unsigned shards = 1)
 {
     TimedConfig cfg;
     cfg.protocol = proto;
@@ -50,7 +62,6 @@ digestRun(TimedProto proto, bool perBlock, NetKind net)
     cfg.cacheGeom.ways = 2;
     cfg.perBlockConcurrency = perBlock;
     cfg.network = net;
-    TimedSystem sys(cfg);
 
     SyntheticConfig scfg;
     scfg.numProcs = 4;
@@ -61,13 +72,35 @@ digestRun(TimedProto proto, bool perBlock, NetKind net)
     scfg.hotBlocks = 16;
     scfg.seed = 0xd16e57;
     SyntheticStream stream(scfg);
+    const ProcSource src = [&](ProcId p) -> std::optional<MemRef> {
+        return stream.nextFor(p);
+    };
 
-    const auto r = sys.run(
-        [&](ProcId p) -> std::optional<MemRef> {
-            return stream.nextFor(p);
-        },
-        400);
+    TimedRunResult r;
+    const TwoBitCacheCtrl *cacheTab[4] = {};
+    const TimedDirCtrl *dirTab[2] = {};
+    if (shards <= 1) {
+        TimedSystem sys(cfg);
+        r = sys.run(src, 400);
+        for (ProcId p = 0; p < cfg.numProcs; ++p)
+            cacheTab[p] = &sys.cacheCtrl(p);
+        for (ModuleId m = 0; m < cfg.numModules; ++m)
+            dirTab[m] = &sys.dirCtrl(m);
+        return digestStats(r, cacheTab, dirTab, cfg);
+    }
+    ShardedTimedSystem sys(cfg, shards);
+    r = sys.run(src, 400);
+    for (ProcId p = 0; p < cfg.numProcs; ++p)
+        cacheTab[p] = &sys.cacheCtrl(p);
+    for (ModuleId m = 0; m < cfg.numModules; ++m)
+        dirTab[m] = &sys.dirCtrl(m);
+    return digestStats(r, cacheTab, dirTab, cfg);
+}
 
+std::uint64_t
+digestStats(const TimedRunResult &r, const TwoBitCacheCtrl *const *caches,
+            const TimedDirCtrl *const *dirs, const TimedConfig &cfg)
+{
     std::uint64_t h = 0xcbf29ce484222325ULL;
     h = fold(h, r.finalTick);
     h = fold(h, r.refsCompleted);
@@ -85,7 +118,7 @@ digestRun(TimedProto proto, bool perBlock, NetKind net)
     h = fold(h, r.writesRecorded);
 
     for (ProcId p = 0; p < cfg.numProcs; ++p) {
-        const auto &s = sys.cacheCtrl(p).stats();
+        const auto &s = caches[p]->stats();
         h = fold(h, s.readHits.value());
         h = fold(h, s.writeHits.value());
         h = fold(h, s.readMisses.value());
@@ -97,7 +130,7 @@ digestRun(TimedProto proto, bool perBlock, NetKind net)
         h = fold(h, s.writebacksSent.value());
     }
     for (ModuleId m = 0; m < cfg.numModules; ++m) {
-        const auto &s = sys.dirCtrl(m).stats();
+        const auto &s = dirs[m]->stats();
         h = fold(h, s.requests.value());
         h = fold(h, s.mrequests.value());
         h = fold(h, s.ejectsData.value());
@@ -159,6 +192,20 @@ TEST(GoldenDigest, RepeatedRunsAreIdentical)
     const auto b =
         digestRun(TimedProto::TwoBit, true, NetKind::Crossbar);
     EXPECT_EQ(a, b);
+}
+
+// The sharded engine's headline property: at --shards=4 every locked
+// cross-scheme digest must still come out bit-identical — parallel
+// decomposition is not allowed to perturb a single statistic.
+TEST(GoldenDigest, ShardedRunsMatchCheckedInDigests)
+{
+    for (const auto &c : goldenCases) {
+        const std::uint64_t got =
+            digestRun(c.proto, c.perBlock, c.net, /*shards=*/4);
+        EXPECT_EQ(got, c.digest)
+            << c.name << " (shards=4): digest 0x" << std::hex << got
+            << " != golden 0x" << c.digest;
+    }
 }
 
 } // namespace

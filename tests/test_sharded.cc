@@ -1,0 +1,393 @@
+/**
+ * @file
+ * The sharded timed engine: kernel-level epoch mechanics and the
+ * serial-equivalence contract.
+ *
+ * The headline property (sharded == serial, bit for bit) is pinned on
+ * the locked cross-scheme digests in test_golden_digest.cc; this file
+ * drills the machinery those digests rest on:
+ *
+ *  - EventQueue epoch primitives: horizon-bounded draining, lower
+ *    bounds, keyed injection, epoch logs, key rewriting;
+ *  - the directed lookahead-tie case: with netLatency == 1 every
+ *    cross-shard delivery lands EXACTLY on the next epoch's first
+ *    tick, so injected deliveries constantly tie shard-local events
+ *    and the merge's serial-key replay is what keeps drain order
+ *    equal to the serial wheel's schedule order;
+ *  - invariance across shard counts (including shards > modules) and
+ *    worker counts, and across all three network models.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "timed/sharded_system.hh"
+#include "timed/timed_system.hh"
+#include "trace/synthetic.hh"
+
+namespace dir2b
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// EventQueue epoch primitives.
+// ---------------------------------------------------------------------
+
+TEST(EpochKernel, RunUntilStopsStrictlyBelowHorizon)
+{
+    EventQueue eq;
+    std::vector<Tick> fired;
+    eq.scheduleAt(1, [&] { fired.push_back(1); });
+    eq.scheduleAt(4, [&] { fired.push_back(4); });
+    eq.scheduleAt(5, [&] { fired.push_back(5); });
+
+    std::uint64_t budget = 100;
+    EXPECT_TRUE(eq.runUntil(5, budget));
+    EXPECT_EQ(fired, (std::vector<Tick>{1, 4}));
+    // The tick-5 event is level-0 resident: the bound is exact.
+    EXPECT_EQ(eq.nextTickLowerBound(), 5u);
+
+    EXPECT_TRUE(eq.runUntil(6, budget));
+    EXPECT_EQ(fired, (std::vector<Tick>{1, 4, 5}));
+    EXPECT_EQ(eq.nextTickLowerBound(), maxTick);
+    EXPECT_EQ(eq.now(), 5u);
+}
+
+TEST(EpochKernel, RunUntilReportsBudgetExhaustion)
+{
+    EventQueue eq;
+    for (int i = 0; i < 4; ++i)
+        eq.scheduleAt(1, [] {});
+    std::uint64_t budget = 2;
+    EXPECT_FALSE(eq.runUntil(10, budget));
+    EXPECT_EQ(eq.executed(), 2u);
+}
+
+TEST(EpochKernel, LowerBoundNeverOvershootsAcrossEpochs)
+{
+    // An event far in the future sits in a coarse wheel level, so the
+    // bound may be inexact (bucket start) — but it must never exceed
+    // the true next tick, and repeated bounded advances must refine
+    // it until the event fires.
+    EventQueue eq;
+    bool fired = false;
+    const Tick when = 100000;
+    eq.scheduleAt(when, [&] { fired = true; });
+    std::uint64_t budget = 100;
+    Tick bound = eq.nextTickLowerBound();
+    while (!fired) {
+        ASSERT_LE(bound, when);
+        ASSERT_TRUE(eq.runUntil(bound + 1, budget));
+        const Tick next = eq.nextTickLowerBound();
+        if (!fired) {
+            ASSERT_GT(next, bound) << "bound failed to refine";
+        }
+        bound = next;
+    }
+    EXPECT_EQ(eq.now(), when);
+}
+
+TEST(EpochKernel, KeyedInjectionOrdersAgainstNativeEvents)
+{
+    // Same-tick drain order is key order regardless of how events got
+    // in: two native schedules (keys 0,1) bracketing an injected key
+    // 100 and an injected key between them cannot happen — but an
+    // injected 0x8000.. must fire after the natives.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAt(3, [&] { order.push_back(0); });
+    eq.scheduleAtKeyed(3, 0x8000000000000000ULL,
+                       [&] { order.push_back(2); });
+    eq.scheduleAt(3, [&] { order.push_back(1); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EpochKernel, EpochLogRecordsCallsAndRewriteReordersChild)
+{
+    // A parent at tick 1 schedules a child at tick 8 mid-epoch.  The
+    // log must record the Schedule call with the child's wheel
+    // coordinates; rewriting the child's provisional key below a
+    // rival's key must flip their same-tick drain order.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAtKeyed(8, 50, [&] { order.push_back(50); });
+    eq.scheduleAtKeyed(1, 0, [&] {
+        eq.schedule(7, [&] { order.push_back(99); });
+    });
+
+    EpochLog log;
+    eq.beginEpoch(&log, /*keyBase=*/1000);
+    std::uint64_t budget = 100;
+    EXPECT_TRUE(eq.runUntil(2, budget));
+    eq.endEpoch();
+
+    ASSERT_EQ(log.execs.size(), 1u);
+    EXPECT_EQ(log.execs[0].tick, 1u);
+    EXPECT_EQ(log.execs[0].key, 0u);
+    ASSERT_EQ(log.execs[0].numCalls, 1u);
+    const EpochLog::Call &c = log.calls[log.execs[0].firstCall];
+    ASSERT_EQ(c.kind, EpochLog::CallKind::Schedule);
+
+    // Provisional key >= keyBase loses to 50; rewrite to 7 must win.
+    EXPECT_TRUE(eq.rewriteKey(c.nodeIdx, c.childId, 7));
+    eq.rebuildOverflowHeap();
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{99, 50}));
+}
+
+TEST(EpochKernel, RewriteKeyRejectsRecycledNode)
+{
+    // After the child fires, its arena slot may be reused; a rewrite
+    // keyed to the dead child's id must be a refused no-op.
+    EventQueue eq;
+    EpochLog log;
+    eq.beginEpoch(&log, 1000);
+    eq.scheduleAtKeyed(1, 0, [&] { eq.schedule(1, [] {}); });
+    std::uint64_t budget = 100;
+    EXPECT_TRUE(eq.runUntil(3, budget)); // parent AND child fire
+    eq.endEpoch();
+    // Only the parent logs (the child makes no calls, so it never
+    // enters the log — call-free events consume no serial keys).
+    ASSERT_EQ(log.execs.size(), 1u);
+    const EpochLog::Call &c = log.calls[log.execs[0].firstCall];
+    EXPECT_FALSE(eq.rewriteKey(c.nodeIdx, c.childId, 5));
+}
+
+// ---------------------------------------------------------------------
+// Serial-equivalence differentials.
+// ---------------------------------------------------------------------
+
+struct RunDigest
+{
+    TimedRunResult r;
+    std::vector<std::uint64_t> perComponent;
+
+    bool
+    operator==(const RunDigest &o) const
+    {
+        return r.finalTick == o.r.finalTick &&
+               r.refsCompleted == o.r.refsCompleted &&
+               r.eventsExecuted == o.r.eventsExecuted &&
+               std::bit_cast<std::uint64_t>(r.avgLatency) ==
+                   std::bit_cast<std::uint64_t>(o.r.avgLatency) &&
+               r.stolenCycles == o.r.stolenCycles &&
+               r.filteredCmds == o.r.filteredCmds &&
+               r.mrequestConversions == o.r.mrequestConversions &&
+               r.mreqDeleted == o.r.mreqDeleted &&
+               r.putsConsumed == o.r.putsConsumed &&
+               r.putsAwaited == o.r.putsAwaited &&
+               r.grantsFalse == o.r.grantsFalse &&
+               r.netMessages == o.r.netMessages &&
+               r.broadcasts == o.r.broadcasts &&
+               r.netWaitCycles == o.r.netWaitCycles &&
+               r.readsChecked == o.r.readsChecked &&
+               r.writesRecorded == o.r.writesRecorded &&
+               r.latencyP50 == o.r.latencyP50 &&
+               r.latencyP95 == o.r.latencyP95 &&
+               r.latencyP99 == o.r.latencyP99 &&
+               perComponent == o.perComponent;
+    }
+};
+
+void
+foldCache(std::vector<std::uint64_t> &v, const CacheCtrlStats &s)
+{
+    v.push_back(s.readHits.value());
+    v.push_back(s.writeHits.value());
+    v.push_back(s.readMisses.value());
+    v.push_back(s.writeMisses.value());
+    v.push_back(s.mrequests.value());
+    v.push_back(s.mrequestConversions.value());
+    v.push_back(s.staleGrantsIgnored.value());
+    v.push_back(s.stolenCycles.value());
+    v.push_back(s.filteredCmds.value());
+    v.push_back(s.invalidationsApplied.value());
+    v.push_back(s.queriesAnswered.value());
+    v.push_back(s.writebacksSent.value());
+    v.push_back(s.latency.samples());
+    v.push_back(s.grantWait.samples());
+    v.push_back(s.dataWait.samples());
+}
+
+void
+foldDir(std::vector<std::uint64_t> &v, const DirCtrlStats &s)
+{
+    v.push_back(s.requests.value());
+    v.push_back(s.mrequests.value());
+    v.push_back(s.ejectsData.value());
+    v.push_back(s.ejectsIgnored.value());
+    v.push_back(s.ejectsApplied.value());
+    v.push_back(s.broadInvs.value());
+    v.push_back(s.broadQueries.value());
+    v.push_back(s.directedInvs.value());
+    v.push_back(s.purges.value());
+    v.push_back(s.grantsTrue.value());
+    v.push_back(s.grantsFalse.value());
+    v.push_back(s.mreqDeleted.value());
+    v.push_back(s.putsConsumed.value());
+    v.push_back(s.putsAwaited.value());
+    v.push_back(s.queueWait.samples());
+    v.push_back(s.ackWait.samples());
+    v.push_back(s.putWait.samples());
+}
+
+struct Workload
+{
+    TimedConfig cfg;
+    SyntheticConfig scfg;
+    std::uint64_t refsPerProc = 400;
+};
+
+Workload
+baseWorkload()
+{
+    Workload w;
+    w.cfg.numProcs = 4;
+    w.cfg.numModules = 2;
+    w.cfg.cacheGeom.sets = 16;
+    w.cfg.cacheGeom.ways = 2;
+    w.scfg.numProcs = 4;
+    w.scfg.q = 0.3;
+    w.scfg.w = 0.3;
+    w.scfg.sharedBlocks = 8;
+    w.scfg.privateBlocks = 64;
+    w.scfg.hotBlocks = 16;
+    w.scfg.seed = 0x5ea1ed;
+    return w;
+}
+
+RunDigest
+runOnce(const Workload &w, unsigned shards, unsigned workers = 0)
+{
+    SyntheticStream stream(w.scfg);
+    const ProcSource src = [&](ProcId p) -> std::optional<MemRef> {
+        return stream.nextFor(p);
+    };
+    RunDigest d;
+    if (shards <= 1) {
+        TimedSystem sys(w.cfg);
+        d.r = sys.run(src, w.refsPerProc);
+        for (ProcId p = 0; p < w.cfg.numProcs; ++p)
+            foldCache(d.perComponent, sys.cacheCtrl(p).stats());
+        for (ModuleId m = 0; m < w.cfg.numModules; ++m)
+            foldDir(d.perComponent, sys.dirCtrl(m).stats());
+        return d;
+    }
+    ShardedTimedSystem sys(w.cfg, shards, {}, workers);
+    d.r = sys.run(src, w.refsPerProc);
+    for (ProcId p = 0; p < w.cfg.numProcs; ++p)
+        foldCache(d.perComponent, sys.cacheCtrl(p).stats());
+    for (ModuleId m = 0; m < w.cfg.numModules; ++m)
+        foldDir(d.perComponent, sys.dirCtrl(m).stats());
+    return d;
+}
+
+// The directed lookahead-tie case.  netLatency == 1 makes the horizon
+// min+1: every epoch advances one occupied tick, and EVERY cross-shard
+// delivery is injected exactly at the horizon — the first tick of the
+// next epoch — where it ties shard-local events.  All-shared traffic
+// (q = 1) over few blocks maximises cross-shard sends.  Any deviation
+// from the serial wheel's key order at those ties shifts contention,
+// latencies and event counts and fails the comparison.
+TEST(ShardedDifferential, LookaheadHorizonTiesMatchSerial)
+{
+    Workload w = baseWorkload();
+    w.cfg.netLatency = 1;
+    w.scfg.q = 1.0;
+    w.scfg.sharedBlocks = 4;
+    w.refsPerProc = 300;
+    const RunDigest serial = runOnce(w, 1);
+    const RunDigest sharded = runOnce(w, 2, 2);
+    EXPECT_TRUE(serial == sharded);
+    EXPECT_GT(serial.r.netMessages, 0u);
+}
+
+TEST(ShardedDifferential, ShardCountInvariance)
+{
+    const Workload w = baseWorkload();
+    const RunDigest serial = runOnce(w, 1);
+    // 3 leaves a module-less shard; 5 exceeds procs AND modules,
+    // leaving an entirely empty shard to idle through every epoch.
+    for (unsigned shards : {2u, 3u, 4u, 5u}) {
+        const RunDigest d = runOnce(w, shards);
+        EXPECT_TRUE(serial == d) << "shards=" << shards;
+    }
+}
+
+TEST(ShardedDifferential, WorkerCountInvariance)
+{
+    Workload w = baseWorkload();
+    w.cfg.network = NetKind::Crossbar;
+    const RunDigest one = runOnce(w, 4, 1);
+    const RunDigest two = runOnce(w, 4, 2);
+    const RunDigest four = runOnce(w, 4, 4);
+    EXPECT_TRUE(one == two);
+    EXPECT_TRUE(one == four);
+}
+
+TEST(ShardedDifferential, BusBroadcastFanOutMatchesSerial)
+{
+    // The bus serialises all traffic through one shared resource and
+    // broadcasts fan out to every other endpoint: the merge must
+    // replay ONE bus claim per broadcast, then key the per-listener
+    // deliveries in the serial fan-out order.
+    Workload w = baseWorkload();
+    w.cfg.network = NetKind::Bus;
+    w.scfg.q = 0.5;
+    const RunDigest serial = runOnce(w, 1);
+    const RunDigest sharded = runOnce(w, 2, 2);
+    EXPECT_TRUE(serial == sharded);
+    EXPECT_GT(serial.r.broadcasts, 0u);
+}
+
+TEST(ShardedDifferential, AllProtocolsAllNetsMatchSerial)
+{
+    for (TimedProto proto :
+         {TimedProto::TwoBit, TimedProto::FullMap, TimedProto::YenFu}) {
+        for (NetKind net :
+             {NetKind::Ideal, NetKind::Crossbar, NetKind::Bus}) {
+            Workload w = baseWorkload();
+            w.cfg.protocol = proto;
+            w.cfg.network = net;
+            w.cfg.perBlockConcurrency = true;
+            w.refsPerProc = 200;
+            const RunDigest serial = runOnce(w, 1);
+            const RunDigest sharded = runOnce(w, 3, 2);
+            EXPECT_TRUE(serial == sharded)
+                << "proto=" << static_cast<int>(proto)
+                << " net=" << static_cast<int>(net);
+        }
+    }
+}
+
+TEST(ShardedDifferential, RunTimedWorkloadDispatches)
+{
+    const Workload w = baseWorkload();
+    SyntheticStream s1(w.scfg);
+    SyntheticStream s2(w.scfg);
+    const auto serial = runTimedWorkload(
+        w.cfg, 1, 1,
+        [&](ProcId p) -> std::optional<MemRef> {
+            return s1.nextFor(p);
+        },
+        w.refsPerProc);
+    const auto sharded = runTimedWorkload(
+        w.cfg, 4, 2,
+        [&](ProcId p) -> std::optional<MemRef> {
+            return s2.nextFor(p);
+        },
+        w.refsPerProc);
+    EXPECT_EQ(serial.finalTick, sharded.finalTick);
+    EXPECT_EQ(serial.eventsExecuted, sharded.eventsExecuted);
+    EXPECT_EQ(serial.netMessages, sharded.netMessages);
+    EXPECT_EQ(serial.netWaitCycles, sharded.netWaitCycles);
+}
+
+} // namespace
+} // namespace dir2b

@@ -7,7 +7,7 @@
  *   trace_dump [--out PATH] [--protocol tb|fm|yf] [--procs N]
  *              [--modules M] [--refs N] [--seed S] [--q Q]
  *              [--net ideal|crossbar|bus] [--per-block] [--snoop]
- *              [--capacity N] [--debug]
+ *              [--capacity N] [--shards N] [--debug]
  *
  * The artifact is simultaneously a Chrome trace_event file: load it
  * straight into Perfetto (https://ui.perfetto.dev) or chrome://tracing
@@ -18,6 +18,12 @@
  * With --debug, DIR2B_DEBUG protocol chatter is additionally routed
  * into a "log" track as instant events, so the textual story and the
  * timeline are one artifact.
+ *
+ * With --shards N > 1 the run uses the sharded engine (bit-identical
+ * statistics; see src/timed/sharded_system.hh) with one recorder per
+ * shard: the artifact renders each shard as its own "s<k>/..." group
+ * of Perfetto tracks.  --debug needs the single global debug sink and
+ * is therefore rejected alongside --shards.
  */
 
 #include <cstdio>
@@ -25,11 +31,13 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "obs/chrome_trace.hh"
 #include "obs/trace_recorder.hh"
 #include "report/bench_cli.hh"
 #include "report/report.hh"
+#include "timed/sharded_system.hh"
 #include "timed/timed_system.hh"
 #include "trace/synthetic.hh"
 #include "util/logging.hh"
@@ -67,9 +75,35 @@ usage(const char *argv0)
         "  --snoop         duplicate cache directories (Sec. 4.4a)\n"
         "  --capacity N    recorder ring capacity in events "
         "(default: 262144)\n"
+        "  --shards N      home shards; N > 1 runs the sharded engine\n"
+        "                  with one recorder (track group) per shard\n"
         "  --debug         route DIR2B_DEBUG messages into a 'log' "
-        "track\n",
+        "track (single shard only)\n",
         argv0);
+}
+
+/** Per-phase latency summary (merged across components); works on
+ *  either engine — both expose the same histogram accessors. */
+struct PhaseRow
+{
+    const char *name;
+    Histogram h;
+};
+
+template <typename Sys>
+std::vector<PhaseRow>
+collectPhases(const Sys &sys)
+{
+    return {
+        {"latency", sys.mergedCacheHistogram(&CacheCtrlStats::latency)},
+        {"grant_wait",
+         sys.mergedCacheHistogram(&CacheCtrlStats::grantWait)},
+        {"data_wait",
+         sys.mergedCacheHistogram(&CacheCtrlStats::dataWait)},
+        {"queue_wait", sys.mergedDirHistogram(&DirCtrlStats::queueWait)},
+        {"ack_wait", sys.mergedDirHistogram(&DirCtrlStats::ackWait)},
+        {"put_wait", sys.mergedDirHistogram(&DirCtrlStats::putWait)},
+    };
 }
 
 } // namespace
@@ -88,6 +122,7 @@ main(int argc, char **argv)
     bool perBlock = false;
     bool snoop = false;
     bool debug = false;
+    unsigned shards = 1;
     std::size_t capacity = std::size_t(1) << 18;
 
     for (int i = 1; i < argc; ++i) {
@@ -123,6 +158,9 @@ main(int argc, char **argv)
         } else if (arg == "--capacity") {
             capacity = static_cast<std::size_t>(
                 std::atoll(value("--capacity").c_str()));
+        } else if (arg == "--shards") {
+            shards = static_cast<unsigned>(
+                std::atoi(value("--shards").c_str()));
         } else if (arg == "--per-block") {
             perBlock = true;
         } else if (arg == "--snoop") {
@@ -135,6 +173,11 @@ main(int argc, char **argv)
     }
     if (procs == 0 || modules == 0 || capacity == 0)
         fail("--procs, --modules and --capacity must be positive");
+    if (shards == 0)
+        fail("--shards must be positive");
+    if (shards > 1 && debug)
+        fail("--debug needs the single global debug sink; "
+             "use --shards 1");
 
     TimedConfig cfg;
     if (protoName == "tb")
@@ -165,18 +208,16 @@ main(int argc, char **argv)
                      "trace_dump: warning: built with -DDIR2B_TRACING="
                      "OFF — the trace will contain no events\n");
 
-    TraceRecorder rec(capacity);
-    cfg.tracer = &rec;
+    // One recorder per shard (a single one when serial); the exporter
+    // renders each as its own group of Perfetto tracks.
+    std::vector<std::unique_ptr<TraceRecorder>> recs;
+    std::vector<const TraceRecorder *> recPtrs;
+    for (unsigned s = 0; s < shards; ++s) {
+        recs.push_back(std::make_unique<TraceRecorder>(capacity));
+        recPtrs.push_back(recs.back().get());
+    }
 
     const WallTimer timer;
-    TimedSystem sys(cfg);
-
-    if (debug) {
-        const std::uint32_t logTrk = rec.addTrack("log");
-        setDebugSink([&rec, &sys, logTrk](const std::string &msg) {
-            rec.note(sys.now(), logTrk, msg);
-        });
-    }
 
     SyntheticConfig scfg;
     scfg.numProcs = procs;
@@ -192,36 +233,39 @@ main(int argc, char **argv)
         return stream->nextFor(p);
     };
 
-    const TimedRunResult r = sys.run(src, refs);
-    setDebugSink(nullptr);
-
-    // ---- per-phase latency summary (merged across components) ----
-    struct Phase
-    {
-        const char *name;
-        Histogram h;
-    };
-    const Phase phases[] = {
-        {"latency", sys.mergedCacheHistogram(&CacheCtrlStats::latency)},
-        {"grant_wait",
-         sys.mergedCacheHistogram(&CacheCtrlStats::grantWait)},
-        {"data_wait",
-         sys.mergedCacheHistogram(&CacheCtrlStats::dataWait)},
-        {"queue_wait",
-         sys.mergedDirHistogram(&DirCtrlStats::queueWait)},
-        {"ack_wait", sys.mergedDirHistogram(&DirCtrlStats::ackWait)},
-        {"put_wait", sys.mergedDirHistogram(&DirCtrlStats::putWait)},
-    };
+    TimedRunResult r;
+    std::vector<PhaseRow> phases;
+    if (shards <= 1) {
+        cfg.tracer = recs[0].get();
+        TimedSystem sys(cfg);
+        if (debug) {
+            TraceRecorder &rec = *recs[0];
+            const std::uint32_t logTrk = rec.addTrack("log");
+            setDebugSink([&rec, &sys, logTrk](const std::string &msg) {
+                rec.note(sys.now(), logTrk, msg);
+            });
+        }
+        r = sys.run(src, refs);
+        setDebugSink(nullptr);
+        phases = collectPhases(sys);
+    } else {
+        std::vector<TraceRecorder *> shardTracers;
+        for (auto &p : recs)
+            shardTracers.push_back(p.get());
+        ShardedTimedSystem sys(cfg, shards, shardTracers);
+        r = sys.run(src, refs);
+        phases = collectPhases(sys);
+    }
 
     std::printf("trace_dump: %s n=%u m=%u q=%.2f net=%s refs=%llu "
-                "-> %llu ticks, %llu messages\n\n",
+                "shards=%u -> %llu ticks, %llu messages\n\n",
                 protoName.c_str(), procs, modules, q, netName.c_str(),
-                static_cast<unsigned long long>(refs),
+                static_cast<unsigned long long>(refs), shards,
                 static_cast<unsigned long long>(r.finalTick),
                 static_cast<unsigned long long>(r.netMessages));
     std::printf("%-12s %10s %10s %6s %6s %6s %6s\n", "phase",
                 "samples", "mean", "min", "p50", "p95", "p99");
-    for (const Phase &p : phases) {
+    for (const PhaseRow &p : phases) {
         std::printf("%-12s %10llu %10.2f %6llu %6llu %6llu %6llu\n",
                     p.name,
                     static_cast<unsigned long long>(p.h.samples()),
@@ -231,12 +275,21 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(p.h.p95()),
                     static_cast<unsigned long long>(p.h.p99()));
     }
+    std::uint64_t recRecorded = 0;
+    std::uint64_t recDropped = 0;
+    std::size_t recHeld = 0;
+    std::size_t recTracks = 0;
+    for (const auto &rp : recs) {
+        recRecorded += rp->recorded();
+        recDropped += rp->dropped();
+        recHeld += rp->size();
+        recTracks += rp->tracks().size();
+    }
     std::printf("\nrecorder: %llu events recorded, %zu held, %llu "
                 "dropped (ring wrap), %zu tracks\n",
-                static_cast<unsigned long long>(rec.recorded()),
-                rec.size(),
-                static_cast<unsigned long long>(rec.dropped()),
-                rec.tracks().size());
+                static_cast<unsigned long long>(recRecorded), recHeld,
+                static_cast<unsigned long long>(recDropped),
+                recTracks);
 
     // ---- artifact ----
     Json params = Json::object();
@@ -249,11 +302,12 @@ main(int argc, char **argv)
     params.set("net", netName);
     params.set("perBlock", perBlock);
     params.set("snoop", snoop);
+    params.set("shards", shards);
     params.set("capacity",
                static_cast<unsigned long long>(capacity));
 
     Json phaseJson = Json::object();
-    for (const Phase &p : phases)
+    for (const PhaseRow &p : phases)
         phaseJson.set(p.name, histogramSummaryJson(p.h));
     Json summary = Json::object();
     summary.set("finalTick",
@@ -263,9 +317,9 @@ main(int argc, char **argv)
     summary.set("netMessages",
                 static_cast<unsigned long long>(r.netMessages));
     summary.set("eventsRecorded",
-                static_cast<unsigned long long>(rec.recorded()));
+                static_cast<unsigned long long>(recRecorded));
     summary.set("eventsDropped",
-                static_cast<unsigned long long>(rec.dropped()));
+                static_cast<unsigned long long>(recDropped));
     summary.set("phases", std::move(phaseJson));
 
     Json meta = Json::object();
@@ -276,7 +330,8 @@ main(int argc, char **argv)
     std::ofstream out(outPath);
     if (!out)
         fail("cannot open '" + outPath + "' for writing");
-    writeTraceArtifact(out, rec, "trace_dump", params, summary, meta);
+    writeTraceArtifact(out, recPtrs, "trace_dump", params, summary,
+                       meta);
     out << "\n";
     if (!out)
         fail("write to '" + outPath + "' failed");
