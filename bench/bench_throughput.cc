@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "core/two_bit_directory.hh"
 #include "model/overhead_model.hh"
@@ -21,6 +22,7 @@
 #include "timed/timed_system.hh"
 #include "trace/synthetic.hh"
 #include "util/flat_map.hh"
+#include "util/random.hh"
 
 namespace
 {
@@ -338,6 +340,89 @@ BM_TwoBitDirectorySetGet(benchmark::State &state)
 }
 BENCHMARK(BM_TwoBitDirectorySetGet);
 
+/**
+ * Tiered directory under a RAM budget: set/get over a 4096-block
+ * working set hash-scattered across 2^30 blocks, touching ~4096
+ * distinct directory pages.  Arg(0) is the budget in KiB (0 =
+ * unlimited — the all-hot PagedArray-equivalent baseline); shrinking
+ * it forces the compress / spill / reload machinery onto the access
+ * path, which is the refs/s cost the tiering trades for the memory
+ * ceiling (docs/PERFORMANCE.md).
+ */
+void
+BM_TieredDirectoryScatter(benchmark::State &state)
+{
+    const std::uint64_t budget =
+        static_cast<std::uint64_t>(state.range(0)) << 10;
+    TwoBitDirectory dir(budget);
+    Rng rng(0x7e55ed);
+    std::vector<Addr> addrs(4096);
+    for (Addr &a : addrs)
+        a = rng.range(std::uint64_t{1} << 30);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const Addr a = addrs[i++ & 4095];
+        dir.set(a, GlobalState::Present1);
+        benchmark::DoNotOptimize(dir.get(a));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+    state.counters["residentKiB"] = static_cast<double>(
+        dir.residentBytes() / 1024);
+}
+BENCHMARK(BM_TieredDirectoryScatter)->Arg(0)->Arg(512)->Arg(64);
+
+/**
+ * Quiescent-epoch fast-forward on a sparse long-horizon sharded run:
+ * 4 processors with a 20000-cycle think time between references leave
+ * the wheels idle for most of simulated time, and at any instant at
+ * most one shard usually has work.  Arg(0) is the fastForward knob
+ * (1 = on).  With it off, every gap costs bound-refinement epochs and
+ * a 4-worker gang barrier each; with it on, exact bounds collapse the
+ * gap to one epoch and single-active-shard epochs run inline on the
+ * caller.  Statistics are bit-identical either way (the golden-digest
+ * suite pins this); only wall clock moves — this pair is the A/B
+ * BENCH_7 records.
+ */
+void
+BM_TimedSparseFastForward(benchmark::State &state)
+{
+    const bool ff = state.range(0) != 0;
+    std::uint64_t refs = 0;
+    for (auto _ : state) {
+        TimedConfig cfg;
+        cfg.protocol = TimedProto::TwoBit;
+        cfg.numProcs = 4;
+        cfg.numModules = 4;
+        cfg.cacheGeom.sets = 16;
+        cfg.cacheGeom.ways = 2;
+        cfg.perBlockConcurrency = true;
+        cfg.network = NetKind::Crossbar;
+        cfg.thinkTime = 20000;
+        cfg.fastForward = ff;
+
+        SyntheticConfig scfg;
+        scfg.numProcs = 4;
+        scfg.q = 0.2;
+        scfg.w = 0.3;
+        scfg.sharedBlocks = 8;
+        scfg.privateBlocks = 64;
+        scfg.hotBlocks = 16;
+        scfg.seed = 0xbe7c4;
+        SyntheticStream stream(scfg);
+
+        const auto r = runTimedWorkload(
+            cfg, /*shards=*/4, /*workers=*/4,
+            [&](ProcId p) -> std::optional<MemRef> {
+                return stream.nextFor(p);
+            },
+            2000);
+        refs += r.refsCompleted;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(refs));
+}
+BENCHMARK(BM_TimedSparseFastForward)->Arg(1)->Arg(0);
+
 void
 BM_OverheadClosedForm(benchmark::State &state)
 {
@@ -364,4 +449,29 @@ BENCHMARK(BM_SolveTwoBitChain64);
 
 } // namespace
 
-BENCHMARK_MAIN();
+#ifndef DIR2B_BUILD_TYPE
+#define DIR2B_BUILD_TYPE "unknown"
+#endif
+
+int
+main(int argc, char **argv)
+{
+    // The benchmark JSON's library_build_type field describes the
+    // INSTALLED google-benchmark library, which on some systems is a
+    // debug build no matter how dir2b was compiled.  Stamp the
+    // simulator's own configuration into the context so
+    // tools/run_bench_baseline.sh can gate on what actually matters:
+    // whether the simulator code being measured is optimised.
+    benchmark::AddCustomContext("dir2b_build_type", DIR2B_BUILD_TYPE);
+#ifdef __OPTIMIZE__
+    benchmark::AddCustomContext("dir2b_optimized", "true");
+#else
+    benchmark::AddCustomContext("dir2b_optimized", "false");
+#endif
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

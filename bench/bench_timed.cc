@@ -79,7 +79,8 @@ netName(NetKind k)
 }
 
 Cell
-runCell(const Spec &s, std::uint64_t refsPerProc, unsigned shards)
+runCell(const Spec &s, std::uint64_t refsPerProc, unsigned shards,
+        std::uint64_t dirRamBudget)
 {
     TimedConfig cfg;
     cfg.protocol = s.proto;
@@ -90,6 +91,7 @@ runCell(const Spec &s, std::uint64_t refsPerProc, unsigned shards)
     cfg.perBlockConcurrency = s.perBlock;
     cfg.snoopFilter = s.snoop;
     cfg.network = s.net;
+    cfg.dirRamBudget = dirRamBudget;
 
     SyntheticConfig scfg;
     scfg.numProcs = s.n;
@@ -348,6 +350,8 @@ cellJson(const Spec &s, const Cell &c)
     j.set("grantsFalse",
           static_cast<unsigned long long>(r.grantsFalse));
     j.set("latency", c.latency);
+    if (hasDirStore(r.dirStore))
+        j.set("dirStore", dirStoreJson(r.dirStore));
     return j;
 }
 
@@ -368,7 +372,8 @@ main(int argc, char **argv)
     parallelFor(
         0, grid.size(),
         [&](std::size_t i) {
-            cells[i] = runCell(grid[i], refs, bo.shards);
+            cells[i] = runCell(grid[i], refs, bo.shards,
+                               bo.dirRamBudget);
         },
         bo.threads);
 
@@ -385,6 +390,8 @@ main(int argc, char **argv)
     params.set("w", 0.3);
     params.set("seed", 31);
     params.set("shards", bo.shards);
+    params.set("dirRamBudget",
+               static_cast<unsigned long long>(bo.dirRamBudget));
     Json out = Json::array();
     for (std::size_t i = 0; i < grid.size(); ++i)
         out.push(cellJson(grid[i], cells[i]));

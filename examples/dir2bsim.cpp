@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "proto/protocol_factory.hh"
+#include "report/bench_cli.hh"
 #include "report/report.hh"
 #include "system/func_system.hh"
 #include "timed/sharded_system.hh"
@@ -79,6 +80,10 @@ struct Options
     bool analyze = false;
     bool timed = false;
     unsigned shards = 1;
+    std::uint64_t dirRamBudget = 0;
+    std::uint64_t spaceBlocks = 0;
+    std::uint64_t think = 1;
+    bool fastForward = true;
 };
 
 void
@@ -114,6 +119,21 @@ usage(const char *argv0)
         "  --shards N          with --timed: shard the run by home\n"
         "                      across N wheels/threads (default 1;\n"
         "                      statistics are bit-identical)\n"
+        "  --dir-ram-budget BYTES\n"
+        "                      total directory RAM budget (suffixes\n"
+        "                      K/M/G); cold directory pages compress\n"
+        "                      and spill to disk past it.  0 =\n"
+        "                      unlimited.  Results are bit-identical\n"
+        "                      at any budget\n"
+        "  --space-blocks N    hash-scatter the synthetic working set\n"
+        "                      over an N-block address space (0 =\n"
+        "                      classic compact layout) — exercises\n"
+        "                      huge sparse directories\n"
+        "  --think N           with --timed: processor think time\n"
+        "                      between references (default 1)\n"
+        "  --no-fast-forward   with --timed --shards N: disable the\n"
+        "                      quiescent-epoch fast-forward (A/B\n"
+        "                      knob; statistics are identical)\n"
         "  --list-protocols    print registered protocol names\n",
         argv0);
 }
@@ -195,6 +215,17 @@ parse(int argc, char **argv)
             if (v <= 0)
                 DIR2B_FATAL("--shards wants a positive integer");
             o.shards = static_cast<unsigned>(v);
+        } else if (arg == "--dir-ram-budget") {
+            o.dirRamBudget = parseByteSize(need(i),
+                                           "--dir-ram-budget");
+        } else if (arg == "--space-blocks") {
+            o.spaceBlocks = static_cast<std::uint64_t>(
+                std::strtoull(need(i), nullptr, 10));
+        } else if (arg == "--think") {
+            o.think = static_cast<std::uint64_t>(
+                std::strtoull(need(i), nullptr, 10));
+        } else if (arg == "--no-fast-forward") {
+            o.fastForward = false;
         } else if (arg == "--analyze") {
             o.analyze = true;
         } else if (arg == "--invariants") {
@@ -234,6 +265,7 @@ makeStream(const Options &o, ProcId procs)
     cfg.privateBlocks = 96;
     cfg.hotBlocks = 24;
     cfg.seed = o.seed;
+    cfg.spaceBlocks = o.spaceBlocks;
     return std::make_unique<SyntheticStream>(cfg);
 }
 
@@ -248,6 +280,7 @@ protoConfig(const Options &o, ProcId procs)
     cfg.tbCapacity = o.tbCapacity;
     cfg.biasCapacity = o.biasCapacity;
     cfg.nonCacheableBase = sharedRegionBase;
+    cfg.dirRamBudget = o.dirRamBudget;
     return cfg;
 }
 
@@ -266,6 +299,10 @@ configJson(const Options &o)
     p.set("locality", o.locality);
     p.set("refs", static_cast<unsigned long long>(o.refs));
     p.set("seed", static_cast<unsigned long long>(o.seed));
+    p.set("dirRamBudget",
+          static_cast<unsigned long long>(o.dirRamBudget));
+    p.set("spaceBlocks",
+          static_cast<unsigned long long>(o.spaceBlocks));
     return p;
 }
 
@@ -280,6 +317,7 @@ runSweep(const Options &o)
     {
         unsigned bits = 0;
         RunResult result;
+        DirStoreCounters dirStore;
     };
     std::vector<Cell> cells(o.sweepProcs.size());
     parallelFor(
@@ -295,6 +333,7 @@ runSweep(const Options &o)
             opts.invariantEvery = o.invariants ? 1000 : 0;
             cells[i].result = runFunctional(*proto, *stream, opts);
             cells[i].bits = proto->directoryBitsPerBlock();
+            cells[i].dirStore = proto->dirStoreCounters();
         },
         o.threads);
 
@@ -324,6 +363,8 @@ runSweep(const Options &o)
             c.set("procs", o.sweepProcs[i]);
             c.set("dirBitsPerBlock", cells[i].bits);
             c.set("result", runResultToJson(cells[i].result));
+            if (hasDirStore(cells[i].dirStore))
+                c.set("dirStore", dirStoreJson(cells[i].dirStore));
             jcells.push(std::move(c));
         }
         Json artifact = makeSweepArtifact("dir2bsim", configJson(o),
@@ -364,6 +405,9 @@ runTimed(const Options &o)
     cfg.cacheGeom.ways = o.ways;
     cfg.perBlockConcurrency = true;
     cfg.network = NetKind::Crossbar;
+    cfg.dirRamBudget = o.dirRamBudget;
+    cfg.thinkTime = o.think;
+    cfg.fastForward = o.fastForward;
 
     SyntheticConfig scfg;
     scfg.numProcs = o.procs;
@@ -374,6 +418,7 @@ runTimed(const Options &o)
     scfg.privateBlocks = 96;
     scfg.hotBlocks = 24;
     scfg.seed = o.seed;
+    scfg.spaceBlocks = o.spaceBlocks;
     SyntheticStream stream(scfg);
 
     const auto start = std::chrono::steady_clock::now();
@@ -405,6 +450,30 @@ runTimed(const Options &o)
                 static_cast<unsigned long long>(r.netWaitCycles));
     std::printf("%-24s %12llu\n", "stolenCycles",
                 static_cast<unsigned long long>(r.stolenCycles));
+    if (o.shards > 1) {
+        std::printf("%-24s %12llu\n", "epochs",
+                    static_cast<unsigned long long>(r.epochs));
+        std::printf("%-24s %12llu\n", "inlineEpochs",
+                    static_cast<unsigned long long>(r.inlineEpochs));
+        std::printf("%-24s %12llu\n", "shardEpochsSkipped",
+                    static_cast<unsigned long long>(
+                        r.shardEpochsSkipped));
+    }
+    if (hasDirStore(r.dirStore)) {
+        const DirStoreCounters &d = r.dirStore;
+        std::printf("%-24s %12llu\n", "dirResidentBytes",
+                    static_cast<unsigned long long>(d.residentBytes));
+        std::printf("%-24s %12llu\n", "dirCompressedBytes",
+                    static_cast<unsigned long long>(
+                        d.compressedBytes));
+        std::printf("%-24s %12llu\n", "dirSegmentBytes",
+                    static_cast<unsigned long long>(d.segmentBytes));
+        std::printf("%-24s %6llu/%6llu/%6llu\n",
+                    "dirPages (hot/cold/disk)",
+                    static_cast<unsigned long long>(d.hotPages),
+                    static_cast<unsigned long long>(d.coldPages),
+                    static_cast<unsigned long long>(d.diskPages));
+    }
     std::printf("# coherence: oracle checked %llu reads, "
                 "%llu writes\n",
                 static_cast<unsigned long long>(r.readsChecked),
@@ -432,10 +501,19 @@ runTimed(const Options &o)
               static_cast<unsigned long long>(r.latencyP50));
         c.set("latencyP99",
               static_cast<unsigned long long>(r.latencyP99));
+        c.set("epochs", static_cast<unsigned long long>(r.epochs));
+        c.set("inlineEpochs",
+              static_cast<unsigned long long>(r.inlineEpochs));
+        c.set("shardEpochsSkipped",
+              static_cast<unsigned long long>(r.shardEpochsSkipped));
+        if (hasDirStore(r.dirStore))
+            c.set("dirStore", dirStoreJson(r.dirStore));
         cells.push(std::move(c));
         Json params = configJson(o);
         params.set("shards", o.shards);
         params.set("timed", true);
+        params.set("think", static_cast<unsigned long long>(o.think));
+        params.set("fastForward", o.fastForward);
         Json artifact = makeSweepArtifact("dir2bsim", std::move(params),
                                           std::move(cells));
         const auto wall =
@@ -510,6 +588,25 @@ main(int argc, char **argv)
                 r.perCacheUselessPerRef);
     std::printf("%-24s %12u\n", "dirBitsPerBlock",
                 proto->directoryBitsPerBlock());
+    const DirStoreCounters dirStore = proto->dirStoreCounters();
+    if (hasDirStore(dirStore)) {
+        std::printf("%-24s %12llu\n", "dirResidentBytes",
+                    static_cast<unsigned long long>(
+                        dirStore.residentBytes));
+        std::printf("%-24s %12llu\n", "dirCompressedBytes",
+                    static_cast<unsigned long long>(
+                        dirStore.compressedBytes));
+        std::printf("%-24s %12llu\n", "dirSegmentBytes",
+                    static_cast<unsigned long long>(
+                        dirStore.segmentBytes));
+        std::printf("%-24s %6llu/%6llu/%6llu\n",
+                    "dirPages (hot/cold/disk)",
+                    static_cast<unsigned long long>(dirStore.hotPages),
+                    static_cast<unsigned long long>(
+                        dirStore.coldPages),
+                    static_cast<unsigned long long>(
+                        dirStore.diskPages));
+    }
     if (!o.noOracle)
         std::printf("# coherence: every read verified\n");
 
@@ -520,6 +617,8 @@ main(int argc, char **argv)
         c.set("procs", o.procs);
         c.set("dirBitsPerBlock", proto->directoryBitsPerBlock());
         c.set("result", runResultToJson(r));
+        if (hasDirStore(dirStore))
+            c.set("dirStore", dirStoreJson(dirStore));
         cells.push(std::move(c));
         Json artifact = makeSweepArtifact("dir2bsim", configJson(o),
                                           std::move(cells));

@@ -9,21 +9,28 @@
  * and 16-byte blocks, §2.4.2); this map needs 2 bits per block
  * regardless of n (~0.8% for the same geometry).
  *
- * The words are held in a PagedArray so that sparse reference streams
- * do not materialise state for untouched regions — a lookup is a page
- * probe (cached for the repeated-touch common case) plus a shift/mask,
- * which matches the paper's framing of the directory as plain indexed
- * storage.  bitsPerBlock() still exposes the true hardware cost.
+ * The words are held in a TieredStore so that sparse reference streams
+ * do not materialise state for untouched regions, and so that address
+ * spaces far larger than RAM still fit: under a RAM budget, cold pages
+ * are run-length compressed in place (directory pages are almost
+ * always homogeneous Absent or Present1) and the coldest spill to an
+ * anonymous disk segment.  With the default unlimited budget the store
+ * behaves exactly like the previous PagedArray — a cached page probe
+ * plus a shift/mask — and either way the get/set semantics are
+ * bit-identical, so every protocol, the model checker and the timed
+ * tier are oblivious to the tiering.  bitsPerBlock() still exposes the
+ * true hardware cost.
  */
 
 #ifndef DIR2B_CORE_TWO_BIT_DIRECTORY_HH
 #define DIR2B_CORE_TWO_BIT_DIRECTORY_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "core/global_state.hh"
 #include "sim/stats.hh"
-#include "util/paged_array.hh"
+#include "util/tiered_store.hh"
 #include "util/types.hh"
 
 namespace dir2b
@@ -33,6 +40,12 @@ namespace dir2b
 class TwoBitDirectory
 {
   public:
+    /** ramBudgetBytes caps resident directory storage for this module
+     *  (hot raw + cold compressed pages); 0 = unlimited, no tiering. */
+    explicit TwoBitDirectory(std::uint64_t ramBudgetBytes = 0)
+        : words_(ramBudgetBytes)
+    {}
+
     /** Global state of block a (Absent until first touched). */
     GlobalState
     get(Addr a) const
@@ -66,6 +79,26 @@ class TwoBitDirectory
         return words_.pageCount() * blocksPerPage * bitsPerBlock();
     }
 
+    /** Bytes of directory state resident in RAM right now. */
+    std::uint64_t residentBytes() const { return words_.residentBytes(); }
+
+    /** Bytes of compressed (cold, in-RAM) directory state. */
+    std::uint64_t compressedBytes() const { return words_.compressedBytes(); }
+
+    /** Bytes appended to the on-disk spill segment. */
+    std::uint64_t segmentBytes() const { return words_.segmentBytes(); }
+
+    /** Pages per tier (hot raw / cold compressed / on disk). */
+    std::uint64_t hotPages() const { return words_.hotPages(); }
+    std::uint64_t coldPages() const { return words_.coldPages(); }
+    std::uint64_t diskPages() const { return words_.diskPages(); }
+
+    /** The configured per-module RAM budget (0 = unlimited). */
+    std::uint64_t ramBudgetBytes() const { return words_.budgetBytes(); }
+
+    /** Tier-movement counters of the backing store. */
+    const TieredStoreStats &storeStats() const { return words_.stats(); }
+
   private:
     /** One 64-bit word packs 32 blocks at two bits each. */
     static constexpr std::uint64_t blocksPerWord = 32;
@@ -81,9 +114,62 @@ class TwoBitDirectory
         return static_cast<unsigned>((a % blocksPerWord) * 2);
     }
 
-    PagedArray<std::uint64_t, pageBits> words_;
+    TieredStore<std::uint64_t, pageBits> words_;
     Counter setstates_;
 };
+
+/** Aggregated tiered-storage counters across a system's directories
+ *  (the dirStore object of the dir2b.sweep v3 schema). */
+struct DirStoreCounters
+{
+    std::uint64_t ramBudgetBytes = 0; ///< total configured budget
+    std::uint64_t residentBytes = 0;  ///< hot raw + cold compressed
+    std::uint64_t compressedBytes = 0;
+    std::uint64_t segmentBytes = 0;   ///< appended to disk segments
+    std::uint64_t hotPages = 0;
+    std::uint64_t coldPages = 0;
+    std::uint64_t diskPages = 0;
+    std::uint64_t compressions = 0;
+    std::uint64_t decompressions = 0;
+    std::uint64_t diskPageWrites = 0;
+    std::uint64_t diskPageReads = 0;
+
+    void
+    add(const TwoBitDirectory &dir)
+    {
+        ramBudgetBytes += dir.ramBudgetBytes();
+        residentBytes += dir.residentBytes();
+        compressedBytes += dir.compressedBytes();
+        segmentBytes += dir.segmentBytes();
+        hotPages += dir.hotPages();
+        coldPages += dir.coldPages();
+        diskPages += dir.diskPages();
+        const TieredStoreStats &st = dir.storeStats();
+        compressions += st.compressions;
+        decompressions += st.decompressions;
+        diskPageWrites += st.diskPageWrites;
+        diskPageReads += st.diskPageReads;
+    }
+};
+
+/** Split a total directory RAM budget evenly across modules
+ *  (0 stays 0 = unlimited). */
+constexpr std::uint64_t
+perModuleDirBudget(std::uint64_t totalBytes, std::uint64_t modules)
+{
+    return modules ? totalBytes / modules : totalBytes;
+}
+
+/** One budgeted directory per memory module. */
+inline std::vector<TwoBitDirectory>
+makeTwoBitDirectories(ModuleId modules, std::uint64_t totalRamBudget)
+{
+    std::vector<TwoBitDirectory> dirs;
+    dirs.reserve(modules);
+    for (ModuleId m = 0; m < modules; ++m)
+        dirs.emplace_back(perModuleDirBudget(totalRamBudget, modules));
+    return dirs;
+}
 
 } // namespace dir2b
 

@@ -11,7 +11,8 @@ TwoBitProtocol::TwoBitProtocol(const ProtoConfig &cfg)
 
 TwoBitProtocol::TwoBitProtocol(const std::string &name,
                                const ProtoConfig &cfg)
-    : Protocol(name, cfg), dirs_(cfg.numModules)
+    : Protocol(name, cfg),
+      dirs_(makeTwoBitDirectories(cfg.numModules, cfg.dirRamBudget))
 {
     if (cfg.snoopFilter)
         snoops_.resize(cfg.numProcs);

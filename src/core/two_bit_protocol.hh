@@ -87,6 +87,15 @@ class TwoBitProtocol : public Protocol
         return dirs_.at(m);
     }
 
+    DirStoreCounters
+    dirStoreCounters() const override
+    {
+        DirStoreCounters c;
+        for (const TwoBitDirectory &d : dirs_)
+            c.add(d);
+        return c;
+    }
+
   protected:
     Value doAccess(ProcId k, Addr a, bool write, Value wval) override;
 

@@ -6,7 +6,8 @@ namespace dir2b
 {
 
 TwoBitWtProtocol::TwoBitWtProtocol(const ProtoConfig &cfg)
-    : Protocol("two_bit_wt", cfg), dirs_(cfg.numModules)
+    : Protocol("two_bit_wt", cfg),
+      dirs_(makeTwoBitDirectories(cfg.numModules, cfg.dirRamBudget))
 {}
 
 void

@@ -55,6 +55,15 @@ class TwoBitWtProtocol : public Protocol
 
     GlobalState globalState(Addr a) const { return dirFor(a).get(a); }
 
+    DirStoreCounters
+    dirStoreCounters() const override
+    {
+        DirStoreCounters c;
+        for (const TwoBitDirectory &d : dirs_)
+            c.add(d);
+        return c;
+    }
+
   protected:
     Value doAccess(ProcId k, Addr a, bool write, Value wval) override;
 

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "cache/cache_array.hh"
+#include "core/two_bit_directory.hh"
 #include "memory/address_map.hh"
 #include "memory/backing_store.hh"
 #include "proto/counts.hh"
@@ -60,6 +61,11 @@ struct ProtoConfig
     /** Software scheme: blocks at or above this address are tagged
      *  shared-writeable and are never cached. */
     Addr nonCacheableBase = invalidAddr;
+    /** Total directory RAM budget in bytes, split evenly across the
+     *  modules; beyond it cold directory pages compress and spill to
+     *  disk (util/tiered_store.hh).  0 = unlimited (no tiering).
+     *  Results are bit-identical at any budget. */
+    std::uint64_t dirRamBudget = 0;
 };
 
 /** Base class of every functional coherence protocol. */
@@ -129,6 +135,14 @@ class Protocol
      * axis of the paper's comparison (2 vs n+1).
      */
     virtual unsigned directoryBitsPerBlock() const = 0;
+
+    /**
+     * Aggregated tiered directory-storage counters across this
+     * system's modules (the "dirStore" object of the dir2b.sweep v3
+     * schema).  Schemes without a TieredStore-backed directory return
+     * all zeros; drivers test hasDirStore() before emitting.
+     */
+    virtual DirStoreCounters dirStoreCounters() const { return {}; }
 
     /**
      * Deep consistency check between the directory structures and the

@@ -15,6 +15,26 @@ BenchOptions::resolvedThreads() const
     return threads ? threads : defaultThreadCount();
 }
 
+std::uint64_t
+parseByteSize(const char *s, const char *flag)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    if (end == s)
+        DIR2B_FATAL(flag, ": '", s, "' is not a byte count");
+    std::uint64_t mult = 1;
+    if (*end == 'k' || *end == 'K')
+        mult = 1ULL << 10, ++end;
+    else if (*end == 'm' || *end == 'M')
+        mult = 1ULL << 20, ++end;
+    else if (*end == 'g' || *end == 'G')
+        mult = 1ULL << 30, ++end;
+    if (*end != '\0')
+        DIR2B_FATAL(flag, ": trailing junk in '", s,
+                    "' (suffixes: K, M, G)");
+    return static_cast<std::uint64_t>(v) * mult;
+}
+
 BenchOptions
 parseBenchOptions(int argc, char **argv, const std::string &bench,
                   const std::string &blurb)
@@ -24,14 +44,18 @@ parseBenchOptions(int argc, char **argv, const std::string &bench,
         std::printf(
             "%s\n\n"
             "usage: %s [--threads N] [--json PATH] [--quick] "
-            "[--shards N]\n"
+            "[--shards N] [--dir-ram-budget BYTES]\n"
             "  --threads N   sweep-pool width (default: DIR2B_THREADS\n"
             "                env var, else all hardware threads)\n"
             "  --json PATH   also write the machine-readable artifact\n"
             "                (schema: docs/METRICS.md)\n"
             "  --quick       ~10x fewer references per cell; same grid\n"
             "  --shards N    shard each timed run N ways (default 1;\n"
-            "                statistics are bit-identical either way)\n",
+            "                statistics are bit-identical either way)\n"
+            "  --dir-ram-budget BYTES\n"
+            "                directory RAM budget per run (K/M/G\n"
+            "                suffixes; 0 = unlimited); statistics are\n"
+            "                bit-identical at any budget\n",
             blurb.c_str(), bench.c_str());
     };
     auto need = [&](int &i) -> const char * {
@@ -55,6 +79,9 @@ parseBenchOptions(int argc, char **argv, const std::string &bench,
             if (v <= 0)
                 DIR2B_FATAL("--shards wants a positive integer");
             o.shards = static_cast<unsigned>(v);
+        } else if (arg == "--dir-ram-budget") {
+            o.dirRamBudget = parseByteSize(need(i),
+                                           "--dir-ram-budget");
         } else if (arg == "--help" || arg == "-h") {
             usage();
             std::exit(0);

@@ -15,6 +15,13 @@
  *                 directory home — bit-identical statistics, see
  *                 src/timed/sharded_system.hh).  Benches without a
  *                 timed tier accept and ignore it.
+ *   --dir-ram-budget BYTES
+ *                 total directory RAM budget per run (suffixes K/M/G
+ *                 accepted); cold directory pages compress and spill
+ *                 past it (util/tiered_store.hh).  0 = unlimited.
+ *                 Statistics are bit-identical at any budget; only
+ *                 host memory and wall clock move.  Benches without a
+ *                 two-bit directory accept and ignore it.
  *
  * parseBenchOptions() also wires --threads into
  * setDefaultThreadCount() so nested library code sees the same width.
@@ -40,6 +47,7 @@ struct BenchOptions
     std::string jsonPath; ///< empty = no artifact
     bool quick = false;
     unsigned shards = 1;  ///< timed-engine shards per run (1 = serial)
+    std::uint64_t dirRamBudget = 0; ///< bytes; 0 = unlimited
 
     /** Per-cell reference budget: full size, or ~1/10 under --quick
      *  (floored so tiny grids still exercise every code path). */
@@ -62,6 +70,13 @@ struct BenchOptions
 BenchOptions parseBenchOptions(int argc, char **argv,
                                const std::string &bench,
                                const std::string &blurb);
+
+/**
+ * Parse a byte count with an optional K/M/G (KiB/MiB/GiB, case
+ * insensitive) suffix — "256M", "1g", "4096".  Fatal (naming `flag`)
+ * on anything else.
+ */
+std::uint64_t parseByteSize(const char *s, const char *flag);
 
 /** Wall-clock timer for the meta block. */
 class WallTimer

@@ -153,6 +153,27 @@ histogramSummaryJson(const Histogram &h)
     return j;
 }
 
+Json
+dirStoreJson(const DirStoreCounters &c)
+{
+    auto u = [](std::uint64_t v) {
+        return static_cast<unsigned long long>(v);
+    };
+    Json j = Json::object();
+    j.set("ramBudgetBytes", u(c.ramBudgetBytes));
+    j.set("residentBytes", u(c.residentBytes));
+    j.set("compressedBytes", u(c.compressedBytes));
+    j.set("segmentBytes", u(c.segmentBytes));
+    j.set("hotPages", u(c.hotPages));
+    j.set("coldPages", u(c.coldPages));
+    j.set("diskPages", u(c.diskPages));
+    j.set("compressions", u(c.compressions));
+    j.set("decompressions", u(c.decompressions));
+    j.set("diskPageWrites", u(c.diskPageWrites));
+    j.set("diskPageReads", u(c.diskPageReads));
+    return j;
+}
+
 namespace
 {
 
@@ -163,6 +184,24 @@ checkPercentiles(const Json &obj, const std::string &where)
     for (const char *key : {"p50", "p95", "p99"}) {
         if (!obj.contains(key))
             return where + " lacks '" + key + "' (schema_version >= 2)";
+        if (!obj.at(key).isNumber())
+            return where + ": '" + key + "' is not numeric";
+    }
+    return "";
+}
+
+/** v3 rule: a "dirStore" object carries the complete counter set. */
+std::string
+checkDirStore(const Json &obj, const std::string &where)
+{
+    for (const char *key :
+         {"ramBudgetBytes", "residentBytes", "compressedBytes",
+          "segmentBytes", "hotPages", "coldPages", "diskPages",
+          "compressions", "decompressions", "diskPageWrites",
+          "diskPageReads"}) {
+        if (!obj.contains(key))
+            return where + " lacks '" + key +
+                   "' (schema_version >= 3)";
         if (!obj.at(key).isNumber())
             return where + ": '" + key + "' is not numeric";
     }
@@ -225,6 +264,17 @@ validateSweepArtifact(const Json &a)
                         return err;
                 }
             }
+        }
+        if (cell.contains("dirStore")) {
+            if (version < 3)
+                return where +
+                       ": 'dirStore' needs schema_version >= 3";
+            if (!cell.at("dirStore").isObject())
+                return where + ": 'dirStore' is not an object";
+            if (auto err = checkDirStore(cell.at("dirStore"),
+                                         where + " dirStore");
+                !err.empty())
+                return err;
         }
         ++idx;
     }

@@ -28,6 +28,7 @@
 
 #include <string>
 
+#include "core/two_bit_directory.hh"
 #include "proto/counts.hh"
 #include "report/json.hh"
 #include "sim/stats.hh"
@@ -39,8 +40,13 @@ namespace dir2b
 /** Version of the artifact layout; bump on any incompatible change
  *  and record the change in docs/METRICS.md.
  *  v2: histogram stat entries and "latency" summary objects carry
- *  p50/p95/p99 percentile fields. */
-constexpr int reportSchemaVersion = 2;
+ *  p50/p95/p99 percentile fields.
+ *  v3: cells produced by a TieredStore-backed directory may carry a
+ *  "dirStore" object (resident/compressed/segment bytes, per-tier
+ *  page counts and tier-movement counters); when present it must be
+ *  complete.  Timed cells may also carry epoch accounting (epochs /
+ *  inlineEpochs / shardEpochsSkipped). */
+constexpr int reportSchemaVersion = 3;
 
 /** The "schema" discriminator string. */
 constexpr const char *reportSchemaName = "dir2b.sweep";
@@ -63,6 +69,20 @@ Json statGroupToJson(const StatGroup &g);
 /** Compact distribution summary (samples/mean/min/max/p50/p95/p99) —
  *  the shape sweep cells use for latency objects. */
 Json histogramSummaryJson(const Histogram &h);
+
+/** The v3 "dirStore" cell object: tiered directory-storage counters
+ *  (budget, per-tier bytes and page counts, tier movement). */
+Json dirStoreJson(const DirStoreCounters &c);
+
+/** True when `c` reflects an actual TieredStore-backed directory —
+ *  the emit-or-omit test drivers use so non-two-bit cells keep their
+ *  pre-v3 shape. */
+inline bool
+hasDirStore(const DirStoreCounters &c)
+{
+    return c.ramBudgetBytes || c.hotPages || c.coldPages ||
+           c.diskPages;
+}
 
 /**
  * Structural validation of a parsed dir2b.sweep / dir2b.check

@@ -30,10 +30,12 @@ class TwoBitDirCtrl : public TimedDirCtrl
   public:
     TwoBitDirCtrl(ModuleId id, const TimedConfig &cfg, EventQueue &eq,
                   TimedNetwork &net)
-        : TimedDirCtrl(id, cfg, eq, net)
+        : TimedDirCtrl(id, cfg, eq, net),
+          dir_(perModuleDirBudget(cfg.dirRamBudget, cfg.numModules))
     {}
 
     const TwoBitDirectory &directory() const { return dir_; }
+    const TwoBitDirectory *twoBitDir() const override { return &dir_; }
 
   protected:
     void process(const Message &msg) override;

@@ -39,6 +39,8 @@
 namespace dir2b
 {
 
+class TwoBitDirectory;
+
 /** Statistics shared by every timed controller. */
 struct DirCtrlStats
 {
@@ -81,6 +83,10 @@ class TimedDirCtrl
 
     /** Render queued and in-flight work (diagnostics). */
     std::string stuckReport() const;
+
+    /** The tiered 2-bit directory, when this controller has one
+     *  (aggregation hook for TimedRunResult::dirStore). */
+    virtual const TwoBitDirectory *twoBitDir() const { return nullptr; }
 
   protected:
     /** One block's active transaction. */

@@ -183,15 +183,33 @@ ShardedTimedSystem::run(const ProcSource &source,
     DIR2B_ASSERT(lookahead >= 1,
                  "sharded run needs netLatency >= 1 for lookahead");
 
+    const bool ff = cfg_.fastForward;
+    bounds_.assign(numShards_, maxTick);
+
     ShardGang gang(workers_);
     for (;;) {
+        // Quiescent-epoch fast-forward: the exact per-shard bounds
+        // jump an idle gap in a single epoch, where the bucket-start
+        // lower bounds would spend several refinement epochs (each a
+        // full gang barrier executing nothing) discovering the same
+        // gap.  Horizon safety is unchanged — every send from a tick
+        // in [mn, horizon) still delivers at or beyond mn + lookahead.
         Tick mn = maxTick;
-        for (const auto &shp : shards_)
-            mn = std::min(mn, shp->eq.nextTickLowerBound());
+        for (unsigned s = 0; s < numShards_; ++s) {
+            bounds_[s] = ff ? shards_[s]->eq.nextTickExact()
+                            : shards_[s]->eq.nextTickLowerBound();
+            mn = std::min(mn, bounds_[s]);
+        }
         if (mn == maxTick)
             break; // every wheel drained and nothing in flight
         const Tick horizon =
             mn > maxTick - lookahead ? maxTick : mn + lookahead;
+
+        unsigned active = 0;
+        for (unsigned s = 0; s < numShards_; ++s)
+            active += bounds_[s] < horizon;
+        ++epochs_;
+        shardEpochsSkipped_ += numShards_ - active;
 
         std::uint64_t executedSoFar = 0;
         for (const auto &shp : shards_)
@@ -202,15 +220,31 @@ ShardedTimedSystem::run(const ProcSource &source,
                 : 0;
 
         epochKeyBase_ = nextKey_;
-        gang.run(numShards_, [&](unsigned s) {
+        auto epochBody = [&](unsigned s) {
             Shard &sh = *shards_[s];
             sh.log.clear();
             sh.externals.clear();
+            sh.budgetBlown = false;
+            // An exact bound at or beyond the horizon proves the
+            // shard executes nothing this epoch; skip its wheel walk.
+            if (ff && bounds_[s] >= horizon)
+                return;
             sh.eq.beginEpoch(&sh.log, epochKeyBase_);
             std::uint64_t budget = epochBudget;
             sh.budgetBlown = !sh.eq.runUntil(horizon, budget);
             sh.eq.endEpoch();
-        });
+        };
+        if (ff && active <= 1) {
+            // One live shard: run it inline on this thread instead of
+            // round-tripping through the worker gang — on sparse
+            // long-horizon runs this is most epochs, and the handoff
+            // is the dominant cost.
+            ++inlineEpochs_;
+            for (unsigned s = 0; s < numShards_; ++s)
+                epochBody(s);
+        } else {
+            gang.run(numShards_, epochBody);
+        }
 
         bool blown = false;
         std::uint64_t executedNow = 0;
@@ -247,10 +281,13 @@ ShardedTimedSystem::run(const ProcSource &source,
         messages += shp->net->messagesSent();
         broadcasts += shp->net->broadcastsSent();
     }
-    return aggregateTimedResult(caches_, dirs_, oracle_, finalTick,
-                                completed, events, messages,
-                                broadcasts,
-                                replayNet_->portWaitCycles());
+    TimedRunResult r = aggregateTimedResult(
+        caches_, dirs_, oracle_, finalTick, completed, events,
+        messages, broadcasts, replayNet_->portWaitCycles());
+    r.epochs = epochs_;
+    r.inlineEpochs = inlineEpochs_;
+    r.shardEpochsSkipped = shardEpochsSkipped_;
+    return r;
 }
 
 void

@@ -165,6 +165,13 @@ class ShardedTimedSystem
     std::vector<std::size_t> cursor_;
     std::vector<std::unordered_map<std::uint64_t, std::uint64_t>>
         resolved_;
+
+    /** Per-shard next-event bounds of the current epoch (scratch). */
+    std::vector<Tick> bounds_;
+    /** Quiescent-epoch fast-forward accounting (see TimedRunResult). */
+    std::uint64_t epochs_ = 0;
+    std::uint64_t inlineEpochs_ = 0;
+    std::uint64_t shardEpochsSkipped_ = 0;
 };
 
 /**

@@ -113,6 +113,8 @@ aggregateTimedResult(
         r.putsConsumed += s.putsConsumed.value();
         r.putsAwaited += s.putsAwaited.value();
         r.grantsFalse += s.grantsFalse.value();
+        if (const TwoBitDirectory *dir = dc->twoBitDir())
+            r.dirStore.add(*dir);
     }
     const Histogram lat =
         mergedCacheHistogram(caches, &CacheCtrlStats::latency);

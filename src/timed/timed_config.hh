@@ -90,6 +90,18 @@ struct TimedConfig
     /** Safety net against protocol livelock. */
     std::uint64_t maxEvents = 200000000ULL;
 
+    /** Total directory RAM budget in bytes, split evenly across the
+     *  modules (two-bit scheme; util/tiered_store.hh).  0 = unlimited.
+     *  Results are bit-identical at any budget. */
+    std::uint64_t dirRamBudget = 0;
+
+    /** Quiescent-epoch fast-forward in the sharded engine: use exact
+     *  next-event bounds to jump idle gaps and run single-active-shard
+     *  epochs inline instead of through the worker gang.  Pure
+     *  wall-clock optimisation — statistics are bit-identical either
+     *  way; off exists only for A/B measurement. */
+    bool fastForward = true;
+
     /**
      * Optional trace recorder (src/obs).  When non-null and the build
      * compiles instrumentation (DIR2B_TRACE), every controller and the

@@ -19,6 +19,7 @@
 #include <ostream>
 #include <vector>
 
+#include "core/two_bit_directory.hh"
 #include "sim/event_queue.hh"
 #include "timed/cache_ctrl.hh"
 #include "timed/dir_ctrl_base.hh"
@@ -60,6 +61,17 @@ struct TimedRunResult
     Tick latencyP50 = 0;
     Tick latencyP95 = 0;
     Tick latencyP99 = 0;
+    /** Tiered directory-storage counters (two-bit scheme; zeros for
+     *  schemes whose directory is not the tiered 2-bit map). */
+    DirStoreCounters dirStore;
+    /** Sharded-engine epoch accounting (zeros for a serial run). */
+    std::uint64_t epochs = 0;
+    /** Epochs with one active shard, run inline on the caller thread
+     *  by the quiescent-epoch fast-forward. */
+    std::uint64_t inlineEpochs = 0;
+    /** Shard-epochs skipped because the shard's exact next-event
+     *  bound was at or beyond the horizon. */
+    std::uint64_t shardEpochsSkipped = 0;
 };
 
 /** A complete timed two-bit multiprocessor. */

@@ -5,6 +5,22 @@
 namespace dir2b
 {
 
+namespace
+{
+
+/** SplitMix64 finalizer: the fixed permutation behind the
+ *  SyntheticConfig::spaceBlocks scatter. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
 SyntheticStream::SyntheticStream(const SyntheticConfig &cfg) : cfg_(cfg)
 {
     if (cfg_.numProcs == 0)
@@ -23,6 +39,14 @@ SyntheticStream::SyntheticStream(const SyntheticConfig &cfg) : cfg_(cfg)
     lastShared_.assign(cfg_.numProcs, invalidAddr);
     total_.assign(cfg_.numProcs, 0);
     shared_.assign(cfg_.numProcs, 0);
+}
+
+Addr
+SyntheticStream::scatter(Addr a) const
+{
+    if (!cfg_.spaceBlocks)
+        return a;
+    return static_cast<Addr>(mix64(a) % cfg_.spaceBlocks);
 }
 
 MemRef
@@ -44,7 +68,7 @@ SyntheticStream::nextFor(ProcId p)
             a = sharedRegionBase + rng.range(cfg_.sharedBlocks);
         }
         lastShared_[p] = a;
-        return MemRef{p, a, rng.chance(cfg_.w)};
+        return MemRef{p, scatter(a), rng.chance(cfg_.w)};
     }
 
     // Private block with two-level locality.
@@ -53,7 +77,7 @@ SyntheticStream::nextFor(ProcId p)
         offset = rng.range(cfg_.hotBlocks);
     else
         offset = rng.range(cfg_.privateBlocks);
-    const Addr a = privateRegionBase(p) + offset;
+    const Addr a = scatter(privateRegionBase(p) + offset);
     return MemRef{p, a, rng.chance(cfg_.privateWriteFrac)};
 }
 

@@ -64,6 +64,22 @@ struct SyntheticConfig
     double privateWriteFrac = 0.25;
     /** Random seed. */
     std::uint64_t seed = 42;
+    /**
+     * When nonzero, hash-scatter every emitted block address
+     * uniformly over [0, spaceBlocks) instead of the compact
+     * shared/private region layout — the knob that lets a small
+     * working set exercise a billion-block directory (tiered-store
+     * experiments sweep this to 2^32).  The scatter is a fixed
+     * SplitMix64 permutation, so streams stay deterministic and the
+     * locality structure (which blocks recur) is unchanged; only
+     * WHERE the blocks land moves.  Distinct classic addresses can
+     * collide after the modulo, so keep spaceBlocks well above the
+     * total working set.  0 (the default) emits the classic layout —
+     * all checked-in digests use it.  Region-based classification
+     * (the software scheme's nonCacheableBase) does not apply to
+     * scattered addresses.
+     */
+    std::uint64_t spaceBlocks = 0;
 };
 
 /** Infinite merged-stream generator; round-robin across processors. */
@@ -88,6 +104,9 @@ class SyntheticStream : public RefStream
     double measuredSharedFraction() const;
 
   private:
+    /** Apply the spaceBlocks scatter (identity when the knob is 0). */
+    Addr scatter(Addr a) const;
+
     SyntheticConfig cfg_;
     std::vector<Rng> rngs_;
     std::vector<Addr> lastShared_;

@@ -1,0 +1,432 @@
+/**
+ * @file
+ * Tiered sparse array: hot raw pages, cold compressed pages, coldest
+ * pages spilled to an anonymous on-disk segment.
+ *
+ * PagedArray made the two-bit directory sparse; this container makes it
+ * survive address spaces far larger than RAM, carrying the paper's
+ * economy argument (2 bits per block instead of n+1) to its logical
+ * conclusion.  Three tiers, all behind PagedArray's get/ref interface:
+ *
+ *  - **Hot**: raw zero-initialised pages, exactly like PagedArray.  A
+ *    one-entry inline cache makes the repeated-touch common case one
+ *    compare plus an indexed load.
+ *  - **Cold**: pages demoted from the hot tier by a clock
+ *    (second-chance) sweep when the RAM budget is exceeded, compressed
+ *    in place with run-length encoding.  Directory pages are almost
+ *    always homogeneous (`Absent` everywhere, or `Present1` across a
+ *    private region), so a page typically collapses to ~13 bytes; a
+ *    page that will not compress is kept as a raw copy so the blob is
+ *    never materially larger than the page.
+ *  - **Disk**: when hot + cold together still exceed the budget, the
+ *    oldest cold blobs are appended to an unlinked temporary file
+ *    (`std::tmpfile`) and only a {offset, length} index entry stays in
+ *    RAM.  If the environment cannot create a temporary file the store
+ *    degrades gracefully: blobs stay compressed in RAM and the
+ *    overrun is counted, never hidden.
+ *
+ * A budget of 0 (the default) disables demotion entirely, making the
+ * store behave exactly like PagedArray.  All tier movement is fully
+ * deterministic — driven only by the access sequence, never by clocks
+ * or randomness — so simulations are bit-identical at any budget.
+ *
+ * Like PagedArray, the store is not thread-safe: reads promote pages
+ * and so mutate internal state (get() is const for drop-in
+ * compatibility).  References returned by ref() are valid only until
+ * the next store operation, which may demote the page.
+ */
+
+#ifndef DIR2B_UTIL_TIERED_STORE_HH
+#define DIR2B_UTIL_TIERED_STORE_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "util/flat_map.hh"
+
+namespace dir2b
+{
+
+/** Operation counters for one TieredStore (see also the accessors). */
+struct TieredStoreStats
+{
+    std::uint64_t compressions = 0;     ///< hot -> cold demotions
+    std::uint64_t decompressions = 0;   ///< cold/disk -> hot promotions
+    std::uint64_t diskPageWrites = 0;   ///< cold -> disk spills
+    std::uint64_t diskPageReads = 0;    ///< disk -> hot reloads
+    std::uint64_t diskBytesWritten = 0; ///< cumulative appended bytes
+    std::uint64_t diskBytesRead = 0;    ///< cumulative reloaded bytes
+    std::uint64_t budgetOverruns = 0;   ///< times resident > budget stuck
+    std::uint64_t diskUnavailable = 0;  ///< tmpfile() failures (0 or 1)
+};
+
+/** Sparse tiered array of unsigned words in 2^PageBits-element pages. */
+template <typename T, unsigned PageBits>
+class TieredStore
+{
+    static_assert(std::is_unsigned_v<T>,
+                  "TieredStore elements must be unsigned integers");
+    static_assert(PageBits >= 1 && PageBits <= 15,
+                  "RLE run counts are 16-bit");
+
+  public:
+    static constexpr std::size_t pageElems = std::size_t{1} << PageBits;
+    static constexpr std::size_t rawPageBytes = pageElems * sizeof(T);
+
+    /** budgetBytes caps hot + cold resident bytes; 0 = unlimited. */
+    explicit TieredStore(std::uint64_t budgetBytes = 0)
+        : budget_(budgetBytes)
+    {}
+
+    TieredStore(TieredStore &&) = default;
+    TieredStore &operator=(TieredStore &&) = default;
+
+    /** Element at idx, or a value-initialised T if never touched. */
+    T
+    get(std::uint64_t idx) const
+    {
+        // Promotion mutates tier state; const for PagedArray drop-in.
+        return const_cast<TieredStore *>(this)->getMut(idx);
+    }
+
+    /** Mutable element at idx; materialises its page zero-filled.
+     *  The reference is valid only until the next store operation. */
+    T &
+    ref(std::uint64_t idx)
+    {
+        const std::uint64_t pageIdx = idx >> PageBits;
+        if (pageIdx == cachedIdx_) {
+            pages_[cachedSlot_].refBit = true;
+            return cached_[idx & (pageElems - 1)];
+        }
+        auto [it, fresh] =
+            dir_.tryEmplace(pageIdx, static_cast<std::uint32_t>(pages_.size()));
+        if (fresh) {
+            pages_.emplace_back();
+            Page &pg = pages_.back();
+            pg.pageIdx = pageIdx;
+            pg.raw = std::make_unique<T[]>(pageElems);
+            pg.tier = Tier::Hot;
+            hot_.push_back(it->second);
+        }
+        T *page = promote(it->second);
+        return page[idx & (pageElems - 1)];
+    }
+
+    /** Number of materialised pages, across all tiers. */
+    std::size_t pageCount() const { return pages_.size(); }
+
+    /** Pages currently raw in RAM / compressed in RAM / on disk. */
+    std::size_t hotPages() const { return hot_.size(); }
+    std::size_t coldPages() const { return coldCount_; }
+    std::size_t diskPages() const { return diskCount_; }
+
+    /** Bytes of page data resident in RAM (hot raw + cold blobs). */
+    std::uint64_t
+    residentBytes() const
+    {
+        return hot_.size() * rawPageBytes + coldBytes_;
+    }
+
+    /** Bytes of compressed (cold, in-RAM) page data. */
+    std::uint64_t compressedBytes() const { return coldBytes_; }
+
+    /** Current end offset of the on-disk segment (appended bytes). */
+    std::uint64_t segmentBytes() const { return segEnd_; }
+
+    /** The configured RAM budget (0 = unlimited). */
+    std::uint64_t budgetBytes() const { return budget_; }
+
+    /** Operation counters. */
+    const TieredStoreStats &stats() const { return stats_; }
+
+  private:
+    enum class Tier : std::uint8_t { Hot, Cold, Disk };
+
+    struct Page
+    {
+        std::uint64_t pageIdx = 0;
+        std::unique_ptr<T[]> raw;       ///< Hot tier storage
+        std::vector<std::uint8_t> blob; ///< Cold tier storage
+        std::uint64_t diskOff = 0;      ///< Disk tier location...
+        std::uint32_t diskLen = 0;      ///< ...and blob length
+        Tier tier = Tier::Hot;
+        bool refBit = false; ///< clock second-chance recency bit
+    };
+
+    struct FileCloser
+    {
+        void operator()(std::FILE *f) const { std::fclose(f); }
+    };
+
+    T
+    getMut(std::uint64_t idx)
+    {
+        const std::uint64_t pageIdx = idx >> PageBits;
+        if (pageIdx == cachedIdx_) {
+            pages_[cachedSlot_].refBit = true;
+            return cached_[idx & (pageElems - 1)];
+        }
+        auto it = dir_.find(pageIdx);
+        if (it == dir_.end())
+            return T{};
+        const T *page = promote(it->second);
+        return page[idx & (pageElems - 1)];
+    }
+
+    /** Bring the page to the hot tier, pin it in the inline cache,
+     *  then demote/spill others until the budget holds. */
+    T *
+    promote(std::uint32_t slot)
+    {
+        Page &pg = pages_[slot];
+        switch (pg.tier) {
+          case Tier::Hot:
+            break;
+          case Tier::Cold:
+            pg.raw = decompress(pg.blob.data(), pg.blob.size());
+            coldBytes_ -= pg.blob.size();
+            --coldCount_;
+            pg.blob = {};
+            pg.tier = Tier::Hot;
+            hot_.push_back(slot);
+            ++stats_.decompressions;
+            break;
+          case Tier::Disk: {
+            std::vector<std::uint8_t> blob(pg.diskLen);
+            readSegment(pg.diskOff, blob.data(), pg.diskLen);
+            pg.raw = decompress(blob.data(), blob.size());
+            --diskCount_;
+            pg.tier = Tier::Hot;
+            hot_.push_back(slot);
+            ++stats_.decompressions;
+            ++stats_.diskPageReads;
+            stats_.diskBytesRead += pg.diskLen;
+            break;
+          }
+        }
+        pg.refBit = true;
+        cachedIdx_ = pg.pageIdx;
+        cachedSlot_ = slot;
+        cached_ = pg.raw.get();
+        enforceBudget(slot);
+        return cached_;
+    }
+
+    void
+    enforceBudget(std::uint32_t protect)
+    {
+        if (budget_ == 0)
+            return;
+        // First demote hot pages (clock sweep) into the cold tier...
+        while (residentBytes() > budget_ && hot_.size() > 1)
+            demoteOne(protect);
+        // ...then spill the oldest cold blobs to the disk segment.
+        while (coldBytes_ > 0 && residentBytes() > budget_) {
+            if (!spillOne())
+                break;
+        }
+        if (residentBytes() > budget_)
+            ++stats_.budgetOverruns;
+    }
+
+    /** Clock (second chance) over the hot tier; never evicts
+     *  `protect`, which is the page the caller is touching. */
+    void
+    demoteOne(std::uint32_t protect)
+    {
+        for (;;) {
+            if (hand_ >= hot_.size())
+                hand_ = 0;
+            const std::uint32_t slot = hot_[hand_];
+            Page &pg = pages_[slot];
+            if (slot == protect) {
+                ++hand_;
+                continue;
+            }
+            if (pg.refBit) {
+                pg.refBit = false;
+                ++hand_;
+                continue;
+            }
+            pg.blob = compress(pg.raw.get());
+            pg.raw.reset();
+            pg.tier = Tier::Cold;
+            coldBytes_ += pg.blob.size();
+            ++coldCount_;
+            coldQ_.push_back(slot);
+            ++stats_.compressions;
+            hot_[hand_] = hot_.back();
+            hot_.pop_back();
+            return;
+        }
+    }
+
+    /** Append the oldest still-cold blob to the disk segment.
+     *  Returns false when no spill is possible (no tmpfile). */
+    bool
+    spillOne()
+    {
+        while (!coldQ_.empty()) {
+            const std::uint32_t slot = coldQ_.front();
+            Page &pg = pages_[slot];
+            if (pg.tier != Tier::Cold) {
+                // Promoted (or already spilled) since it was queued.
+                coldQ_.pop_front();
+                continue;
+            }
+            if (!ensureSegment())
+                return false;
+            std::fseek(seg_.get(), 0, SEEK_END);
+            const std::size_t len = pg.blob.size();
+            if (std::fwrite(pg.blob.data(), 1, len, seg_.get()) != len) {
+                // Treat a failed write like an absent disk tier.
+                seg_.reset();
+                segFailed_ = true;
+                ++stats_.diskUnavailable;
+                return false;
+            }
+            pg.diskOff = segEnd_;
+            pg.diskLen = static_cast<std::uint32_t>(len);
+            segEnd_ += len;
+            coldBytes_ -= len;
+            --coldCount_;
+            ++diskCount_;
+            pg.blob = {};
+            pg.tier = Tier::Disk;
+            coldQ_.pop_front();
+            ++stats_.diskPageWrites;
+            stats_.diskBytesWritten += len;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    ensureSegment()
+    {
+        if (seg_)
+            return true;
+        if (segFailed_)
+            return false;
+        seg_.reset(std::tmpfile());
+        if (!seg_) {
+            segFailed_ = true;
+            ++stats_.diskUnavailable;
+            return false;
+        }
+        return true;
+    }
+
+    void
+    readSegment(std::uint64_t off, std::uint8_t *out, std::size_t len)
+    {
+        std::fseek(seg_.get(), static_cast<long>(off), SEEK_SET);
+        const std::size_t got = std::fread(out, 1, len, seg_.get());
+        // The segment is append-only and written by this object, so a
+        // short read can only mean the file was tampered with; zero
+        // the tail rather than reading garbage.
+        if (got < len)
+            std::memset(out + got, 0, len - got);
+    }
+
+    // --- compression -----------------------------------------------
+    //
+    // Blob layout: [tag u8] then
+    //   tag 0: raw page copy (rawPageBytes bytes)
+    //   tag 1: [nRuns u16] then nRuns x ([count u16][value T])
+    // All fields little-endian via memcpy (portable, alignment-free).
+
+    static std::vector<std::uint8_t>
+    compress(const T *page)
+    {
+        // Count runs first so the exact size is allocated once.
+        std::size_t nRuns = 1;
+        for (std::size_t i = 1; i < pageElems; ++i)
+            nRuns += page[i] != page[i - 1];
+        const std::size_t rleBytes = 3 + nRuns * (2 + sizeof(T));
+        if (rleBytes >= 1 + rawPageBytes) {
+            std::vector<std::uint8_t> blob(1 + rawPageBytes);
+            blob[0] = 0;
+            std::memcpy(blob.data() + 1, page, rawPageBytes);
+            return blob;
+        }
+        std::vector<std::uint8_t> blob(rleBytes);
+        blob[0] = 1;
+        const auto runs = static_cast<std::uint16_t>(nRuns);
+        std::memcpy(blob.data() + 1, &runs, 2);
+        std::size_t out = 3;
+        std::size_t i = 0;
+        while (i < pageElems) {
+            std::size_t j = i + 1;
+            while (j < pageElems && page[j] == page[i])
+                ++j;
+            const auto count = static_cast<std::uint16_t>(j - i);
+            std::memcpy(blob.data() + out, &count, 2);
+            std::memcpy(blob.data() + out + 2, &page[i], sizeof(T));
+            out += 2 + sizeof(T);
+            i = j;
+        }
+        return blob;
+    }
+
+    static std::unique_ptr<T[]>
+    decompress(const std::uint8_t *blob, std::size_t len)
+    {
+        auto page = std::make_unique<T[]>(pageElems);
+        if (len == 0)
+            return page;
+        if (blob[0] == 0) {
+            std::memcpy(page.get(), blob + 1,
+                        std::min(len - 1, rawPageBytes));
+            return page;
+        }
+        std::uint16_t nRuns = 0;
+        std::memcpy(&nRuns, blob + 1, 2);
+        std::size_t in = 3;
+        std::size_t out = 0;
+        for (std::uint16_t r = 0; r < nRuns && out < pageElems; ++r) {
+            std::uint16_t count = 0;
+            T value{};
+            std::memcpy(&count, blob + in, 2);
+            std::memcpy(&value, blob + in + 2, sizeof(T));
+            in += 2 + sizeof(T);
+            for (std::uint16_t k = 0; k < count && out < pageElems; ++k)
+                page[out++] = value;
+        }
+        return page;
+    }
+
+    FlatMap<std::uint64_t, std::uint32_t> dir_;
+    std::vector<Page> pages_;
+
+    std::vector<std::uint32_t> hot_; ///< slots in the hot tier
+    std::size_t hand_ = 0;           ///< clock hand into hot_
+    std::deque<std::uint32_t> coldQ_; ///< spill order (lazy entries)
+    std::size_t coldCount_ = 0;
+    std::size_t diskCount_ = 0;
+    std::uint64_t coldBytes_ = 0;
+
+    std::unique_ptr<std::FILE, FileCloser> seg_;
+    std::uint64_t segEnd_ = 0;
+    bool segFailed_ = false;
+
+    std::uint64_t budget_;
+    TieredStoreStats stats_;
+
+    /** One-entry lookup cache; always pins the last-touched page,
+     *  which the clock sweep never evicts. */
+    mutable std::uint64_t cachedIdx_ = ~std::uint64_t{0};
+    mutable std::uint32_t cachedSlot_ = 0;
+    mutable T *cached_ = nullptr;
+};
+
+} // namespace dir2b
+
+#endif // DIR2B_UTIL_TIERED_STORE_HH

@@ -52,7 +52,8 @@ std::uint64_t digestStats(const TimedRunResult &r,
  */
 std::uint64_t
 digestRun(TimedProto proto, bool perBlock, NetKind net,
-          unsigned shards = 1)
+          unsigned shards = 1, std::uint64_t dirRamBudget = 0,
+          bool fastForward = true)
 {
     TimedConfig cfg;
     cfg.protocol = proto;
@@ -62,6 +63,8 @@ digestRun(TimedProto proto, bool perBlock, NetKind net,
     cfg.cacheGeom.ways = 2;
     cfg.perBlockConcurrency = perBlock;
     cfg.network = net;
+    cfg.dirRamBudget = dirRamBudget;
+    cfg.fastForward = fastForward;
 
     SyntheticConfig scfg;
     scfg.numProcs = 4;
@@ -205,6 +208,42 @@ TEST(GoldenDigest, ShardedRunsMatchCheckedInDigests)
         EXPECT_EQ(got, c.digest)
             << c.name << " (shards=4): digest 0x" << std::hex << got
             << " != golden 0x" << c.digest;
+    }
+}
+
+// The tiered directory store must be invisible to every statistic: a
+// RAM budget of one 1 KiB page per module forces constant
+// compress/evict/reload traffic through the cold (and, where
+// available, disk) tiers, and every locked digest must still match —
+// serial and sharded.
+TEST(GoldenDigest, TinyDirBudgetMatchesCheckedInDigests)
+{
+    for (const auto &c : goldenCases) {
+        const std::uint64_t serial = digestRun(
+            c.proto, c.perBlock, c.net, 1, /*dirRamBudget=*/2048);
+        EXPECT_EQ(serial, c.digest)
+            << c.name << " (tiny budget): digest 0x" << std::hex
+            << serial << " != golden 0x" << c.digest;
+        const std::uint64_t sharded = digestRun(
+            c.proto, c.perBlock, c.net, 4, /*dirRamBudget=*/2048);
+        EXPECT_EQ(sharded, c.digest)
+            << c.name << " (tiny budget, shards=4): digest 0x"
+            << std::hex << sharded << " != golden 0x" << c.digest;
+    }
+}
+
+// Quiescent-epoch fast-forward is a pure wall-clock optimisation of
+// the sharded epoch loop; with it disabled the digests must be the
+// same bits — this is the A/B knob BENCH_7 measures.
+TEST(GoldenDigest, FastForwardOffMatchesCheckedInDigests)
+{
+    for (const auto &c : goldenCases) {
+        const std::uint64_t got =
+            digestRun(c.proto, c.perBlock, c.net, 4, 0,
+                      /*fastForward=*/false);
+        EXPECT_EQ(got, c.digest)
+            << c.name << " (shards=4, no ff): digest 0x" << std::hex
+            << got << " != golden 0x" << c.digest;
     }
 }
 

@@ -238,6 +238,18 @@ TEST(Fixtures, SweepFixturesValidateAsExpected)
     const std::string err = validateSweepArtifact(v2);
     EXPECT_NE(err, "");
     EXPECT_NE(err.find("p50"), std::string::npos) << err;
+
+    // v3: a complete dirStore object (tiered directory counters)
+    // passes; one missing tier-movement counters is rejected.
+    const Json v3 =
+        readArtifact(dir + "/sweep_v3_dirstore_good.json");
+    EXPECT_EQ(validateSweepArtifact(v3), "");
+
+    const Json v3bad =
+        readArtifact(dir + "/sweep_v3_bad_dirstore.json");
+    const std::string err3 = validateSweepArtifact(v3bad);
+    EXPECT_NE(err3, "");
+    EXPECT_NE(err3.find("dirStore"), std::string::npos) << err3;
 }
 
 // ---------------------------------------------------------------------
