@@ -19,6 +19,8 @@ toString(LineState s)
         return "Reserved";
       case LineState::Modified:
         return "Modified";
+      case LineState::Owned:
+        return "Owned";
     }
     DIR2B_PANIC("unknown LineState ", static_cast<int>(s));
 }

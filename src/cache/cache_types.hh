@@ -34,6 +34,9 @@ enum class LineState : std::uint8_t
     Reserved,
     /** Valid and modified; memory is stale (the paper's modified bit). */
     Modified,
+    /** Valid, modified, but other clean copies exist; this cache must
+     *  supply the block and eventually write it back (MOESI O). */
+    Owned,
 };
 
 /** Human-readable state name. */
@@ -50,7 +53,7 @@ isValid(LineState s)
 constexpr bool
 isDirty(LineState s)
 {
-    return s == LineState::Modified;
+    return s == LineState::Modified || s == LineState::Owned;
 }
 
 /** One cache line: tag, local state, and the (modelled) block data. */
@@ -61,7 +64,7 @@ struct CacheLine
     Value value = 0;
 
     bool valid() const { return state != LineState::Invalid; }
-    bool dirty() const { return state == LineState::Modified; }
+    bool dirty() const { return isDirty(state); }
 };
 
 } // namespace dir2b

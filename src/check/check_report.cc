@@ -1,5 +1,7 @@
 #include "check/check_report.hh"
 
+#include <map>
+
 #include "util/logging.hh"
 
 namespace dir2b
@@ -22,6 +24,21 @@ exploreCellToJson(const ExplorerConfig &cfg, const ExploreResult &res)
     c.set("closed", res.closed);
     c.set("violations",
           static_cast<unsigned long long>(res.violations.size()));
+    if (res.totalRows > 0) {
+        // Table-driven cells carry row coverage so the committed
+        // fixture pins "every row fired" alongside "no violations".
+        c.set("total_rows",
+              static_cast<unsigned long long>(res.totalRows));
+        c.set("unreachable_rows",
+              static_cast<unsigned long long>(
+                  res.unreachableRows.size()));
+        if (!res.unreachableRows.empty()) {
+            Json dead = Json::array();
+            for (const std::string &r : res.unreachableRows)
+                dead.push(r);
+            c.set("dead_rows", std::move(dead));
+        }
+    }
     if (!res.violations.empty()) {
         const Violation &v = res.violations.front();
         Json first = Json::object();
@@ -94,6 +111,34 @@ makeEngineArtifact(const std::string &tool,
         cells.push(fuzzCellToJson(*fuzzCfg, *fuzzed));
     }
 
+    // Row coverage unioned per table protocol: a row only counts as
+    // dead if NO cell of the grid fired it (evict rows, for example,
+    // need the replacement-pressure cell).
+    std::map<std::string, std::vector<std::uint64_t>> coverage;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        if (explored[i].totalRows == 0)
+            continue;
+        auto &fired = coverage[grid[i].protocol];
+        fired.resize(explored[i].totalRows, 0);
+        for (std::size_t r = 0; r < explored[i].totalRows; ++r)
+            fired[r] += explored[i].rowsFired[r];
+    }
+    std::uint64_t deadRows = 0;
+    Json tables = Json::object();
+    for (const auto &[name, fired] : coverage) {
+        std::uint64_t dead = 0;
+        for (const std::uint64_t hits : fired)
+            if (hits == 0)
+                ++dead;
+        deadRows += dead;
+        Json entry = Json::object();
+        entry.set("total_rows",
+                  static_cast<unsigned long long>(fired.size()));
+        entry.set("unreachable_rows",
+                  static_cast<unsigned long long>(dead));
+        tables.set(name, std::move(entry));
+    }
+
     Json summary = Json::object();
     summary.set("explore_cells",
                 static_cast<unsigned long long>(grid.size()));
@@ -104,7 +149,13 @@ makeEngineArtifact(const std::string &tool,
                 static_cast<unsigned long long>(violations));
     summary.set("fuzz_failures",
                 static_cast<unsigned long long>(fuzzFailures));
-    summary.set("ok", violations == 0 && fuzzFailures == 0);
+    if (!coverage.empty()) {
+        summary.set("table_coverage", std::move(tables));
+        summary.set("table_dead_rows",
+                    static_cast<unsigned long long>(deadRows));
+    }
+    summary.set("ok", violations == 0 && fuzzFailures == 0 &&
+                          deadRows == 0);
 
     return makeCheckArtifact(tool, Json(), std::move(cells),
                              std::move(summary));

@@ -7,6 +7,7 @@
 #include "core/two_bit_protocol.hh"
 #include "core/two_bit_wt_protocol.hh"
 #include "proto/protocol_factory.hh"
+#include "proto/table_engine.hh"
 #include "util/parallel.hh"
 
 namespace dir2b
@@ -114,6 +115,7 @@ signatureOf(const Sim &sim, const ExplorerConfig &cfg)
     const Protocol &p = *sim.proto;
     const auto *tb = dynamic_cast<const TwoBitProtocol *>(&p);
     const auto *wt = dynamic_cast<const TwoBitWtProtocol *>(&p);
+    const auto *tab = dynamic_cast<const TableProtocol *>(&p);
 
     std::string sig;
     sig.reserve((p.numProcs() + 2) * cfg.numBlocks + 4);
@@ -124,7 +126,7 @@ signatureOf(const Sim &sim, const ExplorerConfig &cfg)
                 sig += '-';
                 continue;
             }
-            sig += "ISERM"[static_cast<unsigned>(l->state)];
+            sig += "ISERMO"[static_cast<unsigned>(l->state)];
             sig += l->value == sim.oracle.expected(a) ? 'f' : 's';
         }
         sig += p.memValue(a) == sim.oracle.expected(a) ? 'F' : 'S';
@@ -132,6 +134,8 @@ signatureOf(const Sim &sim, const ExplorerConfig &cfg)
             sig += '0' + static_cast<char>(tb->globalState(a));
         else if (wt)
             sig += '0' + static_cast<char>(wt->globalState(a));
+        else if (tab)
+            sig += '0' + static_cast<char>(tab->dirStateOf(a));
         sig += '|';
     }
     return sig;
@@ -170,6 +174,11 @@ explore(const ExplorerConfig &cfg)
 
     {
         Sim init = makeSim(cfg);
+        if (const auto *tab =
+                dynamic_cast<const TableProtocol *>(init.proto.get())) {
+            res.totalRows = tab->table().rows.size();
+            res.rowsFired.assign(res.totalRows, 0);
+        }
         seen.insert(signatureOf(init, cfg));
         frontier.push_back({});
         res.statesVisited = 1;
@@ -179,6 +188,18 @@ explore(const ExplorerConfig &cfg)
                     const std::vector<CheckAction> &trail) {
         res.violations.push_back(v);
         res.trail = trail;
+    };
+
+    // Row coverage: union the fire counts of every replayed sim so a
+    // closed search proves exactly which table rows are live.
+    auto harvest = [&](const Sim &sim) {
+        const auto *tab =
+            dynamic_cast<const TableProtocol *>(sim.proto.get());
+        if (!tab)
+            return;
+        const auto &hits = tab->rowHits();
+        for (std::size_t i = 0; i < hits.size(); ++i)
+            res.rowsFired[i] += hits[i];
     };
 
     bool truncated = false;
@@ -215,10 +236,12 @@ explore(const ExplorerConfig &cfg)
                 pre = snapshotPreAccess(*sim.proto, ref);
 
             if (auto v = applyAction(sim, act)) {
+                harvest(sim);
                 fail(*v, next);
                 break;
             }
             ++res.transitionsChecked;
+            harvest(sim);
 
             if (countable) {
                 if (auto v = checkBroadcastDelta(
@@ -245,6 +268,15 @@ explore(const ExplorerConfig &cfg)
 
     res.closed = res.violations.empty() && frontier.empty() &&
                  !truncated && seen.size() < cfg.maxStates;
+
+    if (res.totalRows > 0) {
+        Sim probe = makeSim(cfg);
+        const auto &table =
+            dynamic_cast<const TableProtocol &>(*probe.proto).table();
+        for (std::size_t i = 0; i < res.totalRows; ++i)
+            if (res.rowsFired[i] == 0)
+                res.unreachableRows.push_back(describeRow(table, i));
+    }
     return res;
 }
 

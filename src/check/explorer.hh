@@ -92,6 +92,15 @@ struct ExploreResult
     std::vector<Violation> violations;
     /** Action trail reproducing violations.front(). */
     std::vector<CheckAction> trail;
+    /** Table-driven protocols only: rows in the transition table. */
+    std::size_t totalRows = 0;
+    /** Per-row fire counts, unioned over every replayed simulation;
+     *  empty for hand-written protocols. */
+    std::vector<std::uint64_t> rowsFired;
+    /** describeRow() of every row the closed search never fired.
+     *  Non-empty means dead rows (or a grid cell too small to reach
+     *  them) — the coverage tests assert this is empty. */
+    std::vector<std::string> unreachableRows;
 };
 
 /** Whether the factory scheme supports flushCache (the eject action).

@@ -4,6 +4,7 @@
 
 #include "core/two_bit_protocol.hh"
 #include "core/two_bit_wt_protocol.hh"
+#include "proto/table_engine.hh"
 
 namespace dir2b
 {
@@ -70,6 +71,32 @@ checkTwoBitMap(GlobalState st, Addr a, const Copies &c,
     return std::nullopt;
 }
 
+/** Directory-vs-census check for table protocols: the table declares
+ *  per-state holder/modified bounds, so no scheme-specific code. */
+std::optional<Violation>
+checkTableMap(const TableProtocol &tp, Addr a, const Copies &c)
+{
+    const TransitionTable &t = tp.table();
+    const std::uint8_t st = tp.dirStateOf(a);
+    if (st >= t.stateNames.size()) {
+        std::ostringstream os;
+        os << "block " << a << " directory state " << unsigned(st)
+           << " is out of range for table " << t.name;
+        return violation("map-mismatch", os.str());
+    }
+    const StateConstraint &want = t.constraints[st];
+    if (c.holders < want.minHolders || c.holders > want.maxHolders ||
+        c.modified < want.minModified ||
+        c.modified > want.maxModified) {
+        std::ostringstream os;
+        os << "block " << a << " is " << t.stateNames[st]
+           << " but has " << c.holders << " holder(s), " << c.modified
+           << " modified";
+        return violation("map-mismatch", os.str());
+    }
+    return std::nullopt;
+}
+
 } // namespace
 
 std::optional<Violation>
@@ -78,6 +105,7 @@ checkProtocolState(const Protocol &proto, const CoherenceOracle &oracle,
 {
     const auto *twoBit = dynamic_cast<const TwoBitProtocol *>(&proto);
     const auto *wt = dynamic_cast<const TwoBitWtProtocol *>(&proto);
+    const auto *tab = dynamic_cast<const TableProtocol *>(&proto);
 
     for (const Addr a : blocks) {
         const Value want = oracle.expected(a);
@@ -118,6 +146,10 @@ checkProtocolState(const Protocol &proto, const CoherenceOracle &oracle,
             auto v = checkTwoBitMap(wt->globalState(a), a, c, true);
             if (v)
                 return v;
+        } else if (tab) {
+            auto v = checkTableMap(*tab, a, c);
+            if (v)
+                return v;
         }
     }
     return std::nullopt;
@@ -126,8 +158,11 @@ checkProtocolState(const Protocol &proto, const CoherenceOracle &oracle,
 bool
 broadcastDeltaApplies(const Protocol &proto)
 {
+    // two_bit_table is held bit-identical to two_bit, so the §4.2
+    // command-count law binds it too.
     return (proto.name() == "two_bit" ||
-            proto.name() == "two_bit_nop1") &&
+            proto.name() == "two_bit_nop1" ||
+            proto.name() == "two_bit_table") &&
            !proto.config().snoopFilter;
 }
 
@@ -137,6 +172,11 @@ snapshotPreAccess(const Protocol &proto, const MemRef &ref)
     PreAccess pre;
     if (const auto *tb = dynamic_cast<const TwoBitProtocol *>(&proto))
         pre.global = tb->globalState(ref.addr);
+    else if (proto.name() == "two_bit_table")
+        // The two_bit table's state indices are the GlobalState values.
+        pre.global = static_cast<GlobalState>(
+            dynamic_cast<const TableProtocol &>(proto)
+                .dirStateOf(ref.addr));
     const CacheLine *l = proto.cache(ref.proc).peek(ref.addr);
     pre.hit = l && l->valid();
     pre.dirtyHit = pre.hit && l->dirty();

@@ -9,6 +9,8 @@
 #include "proto/full_map_local.hh"
 #include "proto/illinois.hh"
 #include "proto/software.hh"
+#include "proto/table_defs.hh"
+#include "proto/table_engine.hh"
 #include "proto/write_once.hh"
 #include "util/logging.hh"
 
@@ -44,6 +46,13 @@ makeProtocol(const std::string &name, const ProtoConfig &cfg)
         return std::make_unique<IllinoisProtocol>(cfg);
     if (name == "software")
         return std::make_unique<SoftwareProtocol>(cfg);
+    // Table-driven protocols: same interpreter, different data.
+    if (name == "two_bit_table")
+        return std::make_unique<TableProtocol>(twoBitTable(), cfg);
+    if (name == "full_map_table")
+        return std::make_unique<TableProtocol>(fullMapTable(), cfg);
+    if (name == "moesi")
+        return std::make_unique<TableProtocol>(moesiTable(), cfg);
     DIR2B_FATAL("unknown protocol '", name, "'");
 }
 
@@ -52,7 +61,8 @@ protocolNames()
 {
     return {"two_bit",    "two_bit_tb", "two_bit_wt",
             "full_map",   "full_map_local", "dup_dir",
-            "classical",  "write_once", "illinois", "software"};
+            "classical",  "write_once", "illinois", "software",
+            "two_bit_table", "full_map_table", "moesi"};
 }
 
 } // namespace dir2b

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The shipped transition tables for the table-driven engine.
+ *
+ * Two of these re-express hand-written schemes as data and are held to
+ * bit-identical behaviour by the cross-interpreter lockstep differ
+ * (check/differ.hh):
+ *
+ *   twoBitTable()   the paper's §3 two-bit broadcast scheme
+ *                   (= core/two_bit_protocol.cc, counter for counter);
+ *   fullMapTable()  the Censier-Feautrier full map
+ *                   (= proto/full_map.cc, counter for counter).
+ *
+ * The third is the proof that new protocols are now data only:
+ *
+ *   moesiTable()    a directory MOESI with an Owned state and
+ *                   cache-to-cache supply — zero interpreter changes,
+ *                   26 rows.
+ *
+ * See docs/TABLE_ENGINE.md for the row format and how to add another.
+ */
+
+#ifndef DIR2B_PROTO_TABLE_DEFS_HH
+#define DIR2B_PROTO_TABLE_DEFS_HH
+
+#include "proto/table_engine.hh"
+
+namespace dir2b
+{
+
+/** The two-bit directory scheme as a table ("two_bit_table"). */
+const TransitionTable &twoBitTable();
+
+/** The full-map directory scheme as a table ("full_map_table"). */
+const TransitionTable &fullMapTable();
+
+/** Directory MOESI, new protocol purely as data ("moesi"). */
+const TransitionTable &moesiTable();
+
+} // namespace dir2b
+
+#endif // DIR2B_PROTO_TABLE_DEFS_HH

@@ -113,6 +113,34 @@ TEST(FuncSystem, OccupancySamplingSumsToOne)
         r.stateOccupancy[static_cast<int>(GlobalState::PresentM)], 0.0);
 }
 
+TEST(FuncSystem, TableSchemeSamplesIdenticalOccupancy)
+{
+    // The table-driven re-expression exposes its directory state
+    // through the same sampler; on the same stream it must produce
+    // exactly the occupancy profile of the hand-written scheme.
+    auto run = [](const std::string &name) {
+        auto proto = makeProtocol(name, config());
+        SyntheticConfig scfg;
+        scfg.numProcs = 4;
+        scfg.q = 0.3;
+        scfg.sharedBlocks = 8;
+        scfg.seed = 11;
+        SyntheticStream stream(scfg);
+        RunOptions opts;
+        opts.numRefs = 20000;
+        opts.sampleEvery = 50;
+        opts.sharedBlocks = 8;
+        return runFunctional(*proto, stream, opts);
+    };
+    const RunResult hand = run("two_bit");
+    const RunResult tab = run("two_bit_table");
+    ASSERT_GT(tab.stateSamples, 0u);
+    EXPECT_EQ(tab.stateSamples, hand.stateSamples);
+    for (std::size_t s = 0; s < 4; ++s)
+        EXPECT_DOUBLE_EQ(tab.stateOccupancy[s], hand.stateOccupancy[s])
+            << "state " << s;
+}
+
 TEST(FuncSystem, PerCacheMetricMatchesDefinition)
 {
     auto proto = makeProtocol("two_bit", config(4));

@@ -12,11 +12,18 @@
  */
 
 #include <algorithm>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "check/explorer.hh"
 #include "proto/protocol_factory.hh"
+#include "report/report.hh"
+
+#ifndef DIR2B_FIXTURES
+#define DIR2B_FIXTURES "tests/fixtures"
+#endif
 
 namespace dir2b
 {
@@ -168,6 +175,101 @@ TEST(ModelCheck, DefaultGridMeetsAcceptanceBar)
             EXPECT_TRUE(present)
                 << name << " x " << blocks << " block(s) missing";
         }
+    }
+}
+
+/** The default-grid cells of one protocol: the two acceptance cells
+ *  plus the direct-mapped replacement-pressure cell.  Row coverage is
+ *  defined over their UNION — evict rows only fire in the tight
+ *  cell. */
+std::vector<ExplorerConfig>
+tableGridFor(const std::string &name)
+{
+    ExplorerConfig tight = cell(name, 2);
+    tight.sets = 1;
+    tight.ways = 1;
+    return {cell(name, 1), cell(name, 2), tight};
+}
+
+TEST(ModelCheck, TableProtocolsHaveNoUnreachableRows)
+{
+    // The coverage regression of the table engine: across the default
+    // grid every row of every shipped table fires at least once.  A
+    // row nothing can reach is either dead weight or a transition the
+    // explorer's action alphabet can no longer provoke — both are
+    // bugs.
+    for (const std::string name :
+         {"two_bit_table", "full_map_table", "moesi"}) {
+        const auto grid = tableGridFor(name);
+        const auto results = exploreGrid(grid);
+        ASSERT_EQ(results.size(), grid.size());
+        std::vector<std::uint64_t> fired;
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const ExploreResult &r = results[i];
+            EXPECT_TRUE(r.closed) << name << " cell " << i;
+            EXPECT_TRUE(r.violations.empty())
+                << name << " cell " << i << ": "
+                << r.violations.front().detail;
+            ASSERT_GT(r.totalRows, 0u) << name;
+            fired.resize(r.totalRows, 0);
+            for (std::size_t row = 0; row < r.totalRows; ++row)
+                fired[row] += r.rowsFired[row];
+        }
+        for (std::size_t row = 0; row < fired.size(); ++row)
+            EXPECT_GT(fired[row], 0u)
+                << name << ": row " << row
+                << " never fired across the default grid";
+    }
+}
+
+TEST(ModelCheck, HandWrittenProtocolsReportNoRowCoverage)
+{
+    const ExploreResult r = explore(cell("two_bit", 1));
+    EXPECT_EQ(r.totalRows, 0u);
+    EXPECT_TRUE(r.rowsFired.empty());
+    EXPECT_TRUE(r.unreachableRows.empty());
+}
+
+TEST(ModelCheck, MoesiFixtureMatchesFreshExploration)
+{
+    // tests/fixtures/moesi.check is the committed model-check artifact
+    // of the MOESI table (regenerate with
+    //   model_check --protocol moesi --no-fuzz --json ...).
+    // A fresh exploration must reproduce it cell for cell; drift means
+    // the table, the explorer, or the abstraction changed and the
+    // fixture needs a deliberate update.
+    const Json fix = readArtifact(DIR2B_FIXTURES "/moesi.check");
+    ASSERT_TRUE(fix.contains("cells"));
+    ASSERT_TRUE(fix.contains("summary"));
+
+    const Json &summary = fix.at("summary");
+    EXPECT_TRUE(summary.at("ok").asBool());
+    EXPECT_EQ(summary.at("explore_violations").asUint(), 0u);
+    EXPECT_EQ(summary.at("table_dead_rows").asUint(), 0u);
+    EXPECT_EQ(summary.at("table_coverage")
+                  .at("moesi")
+                  .at("unreachable_rows")
+                  .asUint(),
+              0u);
+
+    const auto grid = tableGridFor("moesi");
+    const auto fresh = exploreGrid(grid);
+    const auto &cells = fix.at("cells").elements();
+    ASSERT_EQ(cells.size(), grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const Json &c = cells[i];
+        ASSERT_EQ(c.at("section").asString(), "explore");
+        EXPECT_EQ(c.at("protocol").asString(), "moesi");
+        EXPECT_EQ(c.at("states").asUint(), fresh[i].statesVisited)
+            << "cell " << i;
+        EXPECT_EQ(c.at("transitions").asUint(),
+                  fresh[i].transitionsChecked)
+            << "cell " << i;
+        EXPECT_EQ(c.at("closed").asBool(), fresh[i].closed);
+        EXPECT_EQ(c.at("violations").asUint(), 0u);
+        EXPECT_EQ(c.at("total_rows").asUint(), fresh[i].totalRows);
+        EXPECT_EQ(c.at("unreachable_rows").asUint(),
+                  fresh[i].unreachableRows.size());
     }
 }
 

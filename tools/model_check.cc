@@ -3,7 +3,8 @@
  * Command-line driver for the two checking engines.
  *
  *   model_check [--quick] [--seeds N] [--refs N] [--no-timed]
- *               [--threads N] [--json OUT]
+ *               [--no-fuzz] [--protocol NAME] [--threads N]
+ *               [--json OUT]
  *
  * Runs the exhaustive explorer over the default small-configuration
  * grid (every factory protocol plus the no-Present1 ablation at 2
@@ -12,14 +13,24 @@
  * JSON artifact and exits 0 iff no violation was found.  Both engines
  * dispatch through the shared worker pool; the artifact payload is
  * identical at any --threads value.
+ *
+ * --protocol restricts the grid to one scheme and --no-fuzz skips the
+ * fuzz campaign; together they generate the committed per-protocol
+ * model-check fixtures (tests/fixtures/moesi.check).  Table-driven
+ * schemes additionally get row-coverage accounting: a row no grid cell
+ * fires is reported dead and fails the run.
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "check/check_report.hh"
+#include "proto/protocol_factory.hh"
+#include "proto/table_engine.hh"
 #include "util/parallel.hh"
 
 namespace
@@ -30,16 +41,19 @@ usage(const char *argv0)
 {
     std::printf(
         "usage: %s [--quick] [--seeds N] [--refs N] [--no-timed]\n"
-        "          [--threads N] [--json OUT]\n"
+        "          [--no-fuzz] [--protocol NAME] [--threads N]\n"
+        "          [--json OUT]\n"
         "\n"
         "Exhaustive small-configuration model check plus a\n"
         "differential fuzz campaign (see docs/CHECKING.md).\n"
-        "  --quick      smaller fuzz campaign (CI smoke budget)\n"
-        "  --seeds N    fuzz campaign size (default 16, quick 4)\n"
-        "  --refs N     references per fuzz seed (default 4000)\n"
-        "  --no-timed   skip the timed-tier lockstep run\n"
-        "  --threads N  worker pool width (default: all cores)\n"
-        "  --json OUT   write the dir2b.check artifact to OUT\n",
+        "  --quick          smaller fuzz campaign (CI smoke budget)\n"
+        "  --seeds N        fuzz campaign size (default 16, quick 4)\n"
+        "  --refs N         references per fuzz seed (default 4000)\n"
+        "  --no-timed       skip the timed-tier lockstep run\n"
+        "  --no-fuzz        explorer only (fixture generation)\n"
+        "  --protocol NAME  restrict the grid to one scheme\n"
+        "  --threads N      worker pool width (default: all cores)\n"
+        "  --json OUT       write the dir2b.check artifact to OUT\n",
         argv0);
 }
 
@@ -52,10 +66,12 @@ main(int argc, char **argv)
 
     bool quick = false;
     bool withTimed = true;
+    bool withFuzz = true;
     std::uint64_t seeds = 0;
     std::uint64_t refs = 4000;
     unsigned threads = 0;
     std::string jsonPath;
+    std::string onlyProtocol;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -66,6 +82,10 @@ main(int argc, char **argv)
             quick = true;
         } else if (arg == "--no-timed") {
             withTimed = false;
+        } else if (arg == "--no-fuzz") {
+            withFuzz = false;
+        } else if (arg == "--protocol" && i + 1 < argc) {
+            onlyProtocol = argv[++i];
         } else if (arg == "--seeds" && i + 1 < argc) {
             seeds = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--refs" && i + 1 < argc) {
@@ -87,13 +107,29 @@ main(int argc, char **argv)
 
     const auto t0 = std::chrono::steady_clock::now();
 
-    const auto grid = defaultExplorerGrid();
+    auto grid = defaultExplorerGrid();
+    if (!onlyProtocol.empty()) {
+        std::vector<ExplorerConfig> kept;
+        for (const auto &c : grid)
+            if (c.protocol == onlyProtocol)
+                kept.push_back(c);
+        if (kept.empty()) {
+            std::fprintf(stderr,
+                         "model_check: no grid cell for protocol "
+                         "'%s'\n", onlyProtocol.c_str());
+            return 1;
+        }
+        grid = std::move(kept);
+    }
     std::printf("model_check: exploring %zu cells...\n", grid.size());
     const auto explored = exploreGrid(grid);
 
     std::uint64_t states = 0;
     std::uint64_t transitions = 0;
     std::uint64_t violations = 0;
+    // Row coverage per table protocol, unioned over its grid cells
+    // (evict rows need the replacement-pressure cell to fire).
+    std::map<std::string, std::vector<std::uint64_t>> coverage;
     for (std::size_t i = 0; i < grid.size(); ++i) {
         states += explored[i].statesVisited;
         transitions += explored[i].transitionsChecked;
@@ -106,6 +142,12 @@ main(int argc, char **argv)
             for (const auto &a : explored[i].trail)
                 std::printf("    %s\n", toString(a).c_str());
         }
+        if (explored[i].totalRows > 0) {
+            auto &fired = coverage[grid[i].protocol];
+            fired.resize(explored[i].totalRows, 0);
+            for (std::size_t r = 0; r < explored[i].totalRows; ++r)
+                fired[r] += explored[i].rowsFired[r];
+        }
     }
     std::printf("model_check: %llu states, %llu transitions, "
                 "%llu violation(s)\n",
@@ -113,33 +155,61 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(transitions),
                 static_cast<unsigned long long>(violations));
 
+    std::uint64_t deadRows = 0;
+    for (const auto &[name, fired] : coverage) {
+        std::uint64_t dead = 0;
+        for (std::size_t r = 0; r < fired.size(); ++r)
+            if (fired[r] == 0)
+                ++dead;
+        deadRows += dead;
+        std::printf("model_check: %s row coverage %zu/%zu\n",
+                    name.c_str(), fired.size() - dead, fired.size());
+        if (dead == 0)
+            continue;
+        ProtoConfig pc;
+        pc.numProcs = 2;
+        const auto proto = makeProtocol(name, pc);
+        const auto &table =
+            dynamic_cast<const TableProtocol &>(*proto).table();
+        for (std::size_t r = 0; r < fired.size(); ++r)
+            if (fired[r] == 0)
+                std::printf("  DEAD ROW %s\n",
+                            describeRow(table, r).c_str());
+    }
+
+    FuzzResult fuzzed;
     FuzzConfig fc;
     fc.numSeeds = seeds;
     fc.refsPerSeed = refs;
     fc.diff.withTimed = withTimed;
-    std::printf("model_check: fuzzing %llu seeds x %llu refs "
-                "(%zu schemes%s)...\n",
-                static_cast<unsigned long long>(fc.numSeeds),
-                static_cast<unsigned long long>(fc.refsPerSeed),
-                functionalCheckProtocols().size(),
-                withTimed ? " + timed tier" : "");
-    const FuzzResult fuzzed = fuzzMany(fc);
-    for (const auto &f : fuzzed.failures) {
-        std::printf("  FAILURE seed %llu [%s] at step %zu (%s): %s\n",
-                    static_cast<unsigned long long>(f.seedIndex),
-                    f.failure.protocol.c_str(), f.failure.step,
-                    f.failure.kind.c_str(), f.failure.detail.c_str());
+    if (withFuzz) {
+        std::printf("model_check: fuzzing %llu seeds x %llu refs "
+                    "(%zu schemes%s)...\n",
+                    static_cast<unsigned long long>(fc.numSeeds),
+                    static_cast<unsigned long long>(fc.refsPerSeed),
+                    functionalCheckProtocols().size(),
+                    withTimed ? " + timed tier" : "");
+        fuzzed = fuzzMany(fc);
+        for (const auto &f : fuzzed.failures) {
+            std::printf(
+                "  FAILURE seed %llu [%s] at step %zu (%s): %s\n",
+                static_cast<unsigned long long>(f.seedIndex),
+                f.failure.protocol.c_str(), f.failure.step,
+                f.failure.kind.c_str(), f.failure.detail.c_str());
+        }
+        std::printf(
+            "model_check: %llu fuzz failure(s)\n",
+            static_cast<unsigned long long>(fuzzed.failures.size()));
     }
-    std::printf("model_check: %llu fuzz failure(s)\n",
-                static_cast<unsigned long long>(fuzzed.failures.size()));
 
     const double wallMs =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - t0).count();
 
     if (!jsonPath.empty()) {
-        Json artifact = makeEngineArtifact("model_check", grid,
-                                           explored, &fc, &fuzzed);
+        Json artifact = makeEngineArtifact(
+            "model_check", grid, explored, withFuzz ? &fc : nullptr,
+            withFuzz ? &fuzzed : nullptr);
         stampMeta(artifact, threads ? threads : defaultThreadCount(),
                   wallMs, quick);
         writeArtifact(jsonPath, artifact);
@@ -147,5 +217,7 @@ main(int argc, char **argv)
                     jsonPath.c_str());
     }
 
-    return violations == 0 && fuzzed.failures.empty() ? 0 : 1;
+    return violations == 0 && fuzzed.failures.empty() && deadRows == 0
+               ? 0
+               : 1;
 }
