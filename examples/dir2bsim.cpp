@@ -29,6 +29,7 @@
  * threads with bit-identical statistics (docs/ARCHITECTURE.md).
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -45,6 +46,7 @@
 #include "system/func_system.hh"
 #include "timed/sharded_system.hh"
 #include "trace/synthetic.hh"
+#include "trace/trace_binary.hh"
 #include "trace/trace_io.hh"
 #include "trace/trace_stats.hh"
 #include "util/logging.hh"
@@ -60,6 +62,11 @@ struct Options
     std::string protocol = "two_bit";
     std::string tracePath;
     std::string recordPath;
+    std::string traceInPath;
+    std::string traceOutPath;
+    std::uint64_t traceBufferBytes = 0; ///< 0 = format default
+    bool procsSet = false;
+    bool refsSet = false;
     std::string jsonPath;
     std::vector<ProcId> sweepProcs;
     unsigned threads = 0;
@@ -102,8 +109,20 @@ usage(const char *argv0)
         "  --locality F        shared re-reference probability\n"
         "  --refs N            references to simulate\n"
         "  --seed N            workload seed\n"
-        "  --trace FILE        replay a recorded trace\n"
-        "  --record FILE       record the workload instead of running\n"
+        "  --trace FILE        replay a recorded text trace\n"
+        "  --record FILE       record the workload as text instead of\n"
+        "                      running\n"
+        "  --trace-in FILE     mmap-replay a binary trace (zero-copy\n"
+        "                      batched dispatch; docs/TRACES.md).\n"
+        "                      Works with --timed and --shards too;\n"
+        "                      results are bit-identical to the run\n"
+        "                      that recorded the stream\n"
+        "  --trace-out FILE    record the synthetic workload as a\n"
+        "                      binary trace instead of running\n"
+        "  --trace-buffer BYTES\n"
+        "                      writer block size for --trace-out\n"
+        "                      (suffixes k/m/g; default 1M = 64Ki\n"
+        "                      records per block)\n"
         "  --json FILE         export results as a JSON artifact\n"
         "                      (schema: docs/METRICS.md)\n"
         "  --sweep-procs LIST  run once per comma-separated processor\n"
@@ -153,6 +172,7 @@ parse(int argc, char **argv)
             o.protocol = need(i);
         } else if (arg == "--procs") {
             o.procs = static_cast<ProcId>(std::atoi(need(i)));
+            o.procsSet = true;
         } else if (arg == "--sets") {
             o.sets = static_cast<std::size_t>(std::atoll(need(i)));
         } else if (arg == "--ways") {
@@ -176,12 +196,20 @@ parse(int argc, char **argv)
             o.locality = std::atof(need(i));
         } else if (arg == "--refs") {
             o.refs = static_cast<std::uint64_t>(std::atoll(need(i)));
+            o.refsSet = true;
         } else if (arg == "--seed") {
             o.seed = static_cast<std::uint64_t>(std::atoll(need(i)));
         } else if (arg == "--trace") {
             o.tracePath = need(i);
         } else if (arg == "--record") {
             o.recordPath = need(i);
+        } else if (arg == "--trace-in") {
+            o.traceInPath = need(i);
+        } else if (arg == "--trace-out") {
+            o.traceOutPath = need(i);
+        } else if (arg == "--trace-buffer") {
+            o.traceBufferBytes = parseByteSize(need(i),
+                                               "--trace-buffer");
         } else if (arg == "--json") {
             o.jsonPath = need(i);
         } else if (arg == "--sweep-procs") {
@@ -306,6 +334,54 @@ configJson(const Options &o)
     return p;
 }
 
+/** The v4 "traceReplay" provenance object for a replayed cell. */
+Json
+traceReplayJson(const TraceReader &reader, bool batched)
+{
+    Json t = Json::object();
+    t.set("records",
+          static_cast<unsigned long long>(reader.totalRecords()));
+    t.set("blocks",
+          static_cast<unsigned long long>(reader.numBlocks()));
+    t.set("blockRecords", reader.header().blockRecords);
+    t.set("mappedBytes",
+          static_cast<unsigned long long>(reader.mappedBytes()));
+    t.set("batched", batched);
+    return t;
+}
+
+/** --trace-out: record the workload as a binary trace and exit. */
+int
+recordBinary(const Options &o)
+{
+    if (!o.traceInPath.empty() || !o.recordPath.empty())
+        DIR2B_FATAL("--trace-out excludes --trace-in/--record");
+    auto stream = makeStream(o, o.procs);
+    std::uint32_t blockRecords = traceDefaultBlockRecords;
+    if (o.traceBufferBytes) {
+        const std::uint64_t recs =
+            std::max<std::uint64_t>(1, o.traceBufferBytes /
+                                           sizeof(TraceRecord));
+        blockRecords = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(recs, 1u << 28));
+    }
+    TraceWriter w(o.traceOutPath, blockRecords);
+    for (std::uint64_t n = 0; n < o.refs; ++n) {
+        const auto r = stream->next();
+        if (!r)
+            break;
+        w.append(*r);
+    }
+    w.finish();
+    std::printf("recorded %llu references (%llu blocks, digest "
+                "%016llx) to %s\n",
+                static_cast<unsigned long long>(w.recordsWritten()),
+                static_cast<unsigned long long>(w.blocksWritten()),
+                static_cast<unsigned long long>(w.fileDigest()),
+                o.traceOutPath.c_str());
+    return 0;
+}
+
 int
 runSweep(const Options &o)
 {
@@ -384,10 +460,25 @@ runSweep(const Options &o)
 }
 
 int
-runTimed(const Options &o)
+runTimed(Options o)
 {
     if (!o.tracePath.empty() || !o.recordPath.empty() || o.analyze)
-        DIR2B_FATAL("--timed runs synthetic workloads only");
+        DIR2B_FATAL("--timed runs synthetic workloads or binary "
+                    "trace replay (--trace-in) only");
+
+    std::unique_ptr<TraceReader> reader;
+    if (!o.traceInPath.empty())
+        reader = std::make_unique<TraceReader>(o.traceInPath);
+    ProcId procs = o.procs;
+    if (reader && !o.procsSet && reader->header().numProcs)
+        procs = static_cast<ProcId>(reader->header().numProcs);
+    std::uint64_t refsPerProc = o.refs;
+    if (reader && !o.refsSet)
+        refsPerProc = reader->totalRecords() / std::max<ProcId>(1, procs);
+    // Echo the effective replay geometry (possibly trace-derived) in
+    // the artifact's params block.
+    o.procs = procs;
+    o.refs = refsPerProc;
 
     TimedConfig cfg;
     if (o.protocol == "two_bit" || o.protocol == "tb")
@@ -399,7 +490,7 @@ runTimed(const Options &o)
     else
         DIR2B_FATAL("--timed knows two_bit|full_map|yen_fu "
                     "(tb|fm|yf), not '", o.protocol, "'");
-    cfg.numProcs = o.procs;
+    cfg.numProcs = procs;
     cfg.numModules = o.modules;
     cfg.cacheGeom.sets = o.sets;
     cfg.cacheGeom.ways = o.ways;
@@ -410,7 +501,7 @@ runTimed(const Options &o)
     cfg.fastForward = o.fastForward;
 
     SyntheticConfig scfg;
-    scfg.numProcs = o.procs;
+    scfg.numProcs = procs;
     scfg.q = o.q;
     scfg.w = o.w;
     scfg.sharedBlocks = o.sharedBlocks;
@@ -420,19 +511,24 @@ runTimed(const Options &o)
     scfg.seed = o.seed;
     scfg.spaceBlocks = o.spaceBlocks;
     SyntheticStream stream(scfg);
+    std::unique_ptr<TraceProcSource> procSrc;
+    if (reader)
+        procSrc = std::make_unique<TraceProcSource>(*reader, procs);
 
     const auto start = std::chrono::steady_clock::now();
     const TimedRunResult r = runTimedWorkload(
         cfg, o.shards, o.threads,
         [&](ProcId p) -> std::optional<MemRef> {
-            return stream.nextFor(p);
+            return procSrc ? procSrc->next(p) : stream.nextFor(p);
         },
-        o.refs);
+        refsPerProc);
 
     std::printf("# dir2bsim timed: protocol=%s procs=%u cache=%zux%zu "
-                "modules=%u shards=%u refs/proc=%llu\n",
-                o.protocol.c_str(), o.procs, o.sets, o.ways, o.modules,
-                o.shards, static_cast<unsigned long long>(o.refs));
+                "modules=%u shards=%u refs/proc=%llu%s\n",
+                o.protocol.c_str(), procs, o.sets, o.ways, o.modules,
+                o.shards,
+                static_cast<unsigned long long>(refsPerProc),
+                reader ? " (binary trace replay)" : "");
     std::printf("%-24s %12llu\n", "cycles",
                 static_cast<unsigned long long>(r.finalTick));
     std::printf("%-24s %12llu\n", "refsCompleted",
@@ -483,7 +579,7 @@ runTimed(const Options &o)
         Json cells = Json::array();
         Json c = Json::object();
         c.set("section", "timed");
-        c.set("procs", o.procs);
+        c.set("procs", procs);
         c.set("shards", o.shards);
         c.set("cycles", static_cast<unsigned long long>(r.finalTick));
         c.set("refs",
@@ -508,6 +604,8 @@ runTimed(const Options &o)
               static_cast<unsigned long long>(r.shardEpochsSkipped));
         if (hasDirStore(r.dirStore))
             c.set("dirStore", dirStoreJson(r.dirStore));
+        if (reader)
+            c.set("traceReplay", traceReplayJson(*reader, false));
         cells.push(std::move(c));
         Json params = configJson(o);
         params.set("shards", o.shards);
@@ -534,23 +632,49 @@ runTimed(const Options &o)
 int
 main(int argc, char **argv)
 {
-    const Options o = parse(argc, argv);
+    Options o = parse(argc, argv);
+
+    if (!o.traceOutPath.empty())
+        return recordBinary(o);
 
     if (o.timed)
         return runTimed(o);
 
-    if (!o.sweepProcs.empty())
+    if (!o.sweepProcs.empty()) {
+        if (!o.traceInPath.empty())
+            DIR2B_FATAL("--sweep-procs runs synthetic workloads only");
         return runSweep(o);
+    }
 
-    auto stream = makeStream(o, o.procs);
+    std::unique_ptr<TraceReader> reader;
+    if (!o.traceInPath.empty()) {
+        if (!o.tracePath.empty() || !o.recordPath.empty())
+            DIR2B_FATAL("--trace-in excludes --trace/--record");
+        reader = std::make_unique<TraceReader>(o.traceInPath);
+    }
+    ProcId procs = o.procs;
+    if (reader && !o.procsSet && reader->header().numProcs)
+        procs = static_cast<ProcId>(reader->header().numProcs);
+    // Echo the effective replay geometry in params and printouts: a
+    // bare --trace-in takes procs and refs from the trace header, and
+    // the artifact must describe the run that actually happened.
+    o.procs = procs;
+    if (reader && !o.refsSet)
+        o.refs = reader->totalRecords();
 
     if (o.analyze) {
-        const auto refs = recordStream(*stream, o.refs);
-        printTraceStats(std::cout, analyzeTrace(refs));
+        if (reader) {
+            printTraceStats(std::cout, analyzeTrace(*reader));
+        } else {
+            auto stream = makeStream(o, procs);
+            const auto refs = recordStream(*stream, o.refs);
+            printTraceStats(std::cout, analyzeTrace(refs));
+        }
         return 0;
     }
 
     if (!o.recordPath.empty()) {
+        auto stream = makeStream(o, procs);
         std::ofstream out(o.recordPath);
         if (!out)
             DIR2B_FATAL("cannot open '", o.recordPath, "' for writing");
@@ -562,19 +686,28 @@ main(int argc, char **argv)
     }
 
     const auto start = std::chrono::steady_clock::now();
-    auto proto = makeProtocol(o.protocol, protoConfig(o, o.procs));
+    auto proto = makeProtocol(o.protocol, protoConfig(o, procs));
 
     RunOptions opts;
-    opts.numRefs = o.refs;
+    opts.numRefs = reader && !o.refsSet ? reader->totalRecords()
+                                        : o.refs;
     opts.checkCoherence = !o.noOracle;
     opts.invariantEvery = o.invariants ? 1000 : 0;
-    const RunResult r = runFunctional(*proto, *stream, opts);
+    RunResult r;
+    if (reader) {
+        TraceBatchStream batches(*reader);
+        r = runFunctionalBatched(*proto, batches, opts);
+    } else {
+        auto stream = makeStream(o, procs);
+        r = runFunctional(*proto, *stream, opts);
+    }
 
     std::printf("# dir2bsim: protocol=%s procs=%u cache=%zux%zu "
-                "modules=%u refs=%llu\n",
-                proto->name().c_str(), o.procs, o.sets, o.ways,
+                "modules=%u refs=%llu%s\n",
+                proto->name().c_str(), procs, o.sets, o.ways,
                 o.modules,
-                static_cast<unsigned long long>(r.counts.refs()));
+                static_cast<unsigned long long>(r.counts.refs()),
+                reader ? " (binary trace replay)" : "");
     AccessCounts::forEachField(
         r.counts, [](const char *name, std::uint64_t v) {
             if (v)
@@ -614,11 +747,13 @@ main(int argc, char **argv)
         Json cells = Json::array();
         Json c = Json::object();
         c.set("section", "run");
-        c.set("procs", o.procs);
+        c.set("procs", procs);
         c.set("dirBitsPerBlock", proto->directoryBitsPerBlock());
         c.set("result", runResultToJson(r));
         if (hasDirStore(dirStore))
             c.set("dirStore", dirStoreJson(dirStore));
+        if (reader)
+            c.set("traceReplay", traceReplayJson(*reader, true));
         cells.push(std::move(c));
         Json artifact = makeSweepArtifact("dir2bsim", configJson(o),
                                           std::move(cells));

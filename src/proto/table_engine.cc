@@ -267,6 +267,36 @@ TableProtocol::TableProtocol(const TransitionTable &table,
     // interconnect only.
     DIR2B_ASSERT(!cfg.snoopFilter, "table-driven protocol '",
                  table_.name, "' does not support the snoop filter");
+
+    // Compile the validated table into a dense (state x event-class)
+    // dispatch index: each slot lists its candidate rows in
+    // declaration order, so findRow() evaluates guards over exactly
+    // the rows the linear scan would have reached — same first match,
+    // no scan over the rest of the table.
+    dispatchSlots_.assign(
+        table_.stateNames.size() * numEventClasses, {});
+    for (unsigned pass = 0; pass < 2; ++pass) {
+        for (std::size_t i = 0; i < table_.rows.size(); ++i) {
+            const TableRow &r = table_.rows[i];
+            DispatchSlot &slot = dispatchSlots_[slotIndex(
+                r.state, r.event)];
+            if (pass == 0) {
+                ++slot.len;
+            } else {
+                dispatchRows_[slot.off + slot.len++] =
+                    static_cast<std::uint16_t>(i);
+            }
+        }
+        if (pass == 0) {
+            std::uint32_t off = 0;
+            for (DispatchSlot &slot : dispatchSlots_) {
+                slot.off = off;
+                off += slot.len;
+                slot.len = 0;
+            }
+            dispatchRows_.resize(table_.rows.size());
+        }
+    }
 }
 
 DirStoreCounters
@@ -331,9 +361,21 @@ const TableRow *
 TableProtocol::findRow(std::uint8_t state, EventClass ev, Addr a,
                        ProcId k) const
 {
-    for (const TableRow &r : table_.rows) {
-        if (r.state == state && r.event == ev &&
-            guardHolds(r.guard, a, k))
+    if (linearDispatch_) {
+        // The pre-index reference path, kept as the A/B baseline for
+        // bench_trace_replay's dispatch microbench and the
+        // equivalence test in test_table_engine.cc.
+        for (const TableRow &r : table_.rows) {
+            if (r.state == state && r.event == ev &&
+                guardHolds(r.guard, a, k))
+                return &r;
+        }
+        return nullptr;
+    }
+    const DispatchSlot slot = dispatchSlots_[slotIndex(state, ev)];
+    for (std::uint32_t i = 0; i < slot.len; ++i) {
+        const TableRow &r = table_.rows[dispatchRows_[slot.off + i]];
+        if (guardHolds(r.guard, a, k))
             return &r;
     }
     return nullptr;

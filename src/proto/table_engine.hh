@@ -254,6 +254,14 @@ class TableProtocol : public Protocol
      *  these to report unreachable rows). */
     const std::vector<std::uint64_t> &rowHits() const { return rowHits_; }
 
+    /**
+     * A/B knob for the dispatch microbench and equivalence tests:
+     * true falls back to the pre-index linear row scan.  Both paths
+     * fire the same row for every (state, event, guard) query — the
+     * dense index only skips rows that could never match.
+     */
+    void useLinearDispatch(bool on) { linearDispatch_ = on; }
+
   protected:
     Value doAccess(ProcId k, Addr a, bool write, Value wval) override;
 
@@ -289,9 +297,29 @@ class TableProtocol : public Protocol
     /** Run the eviction rows for a valid victim line. */
     void evictLine(ProcId k, CacheLine &victim);
 
+    std::size_t
+    slotIndex(std::uint8_t state, EventClass ev) const
+    {
+        return std::size_t{state} * numEventClasses +
+               static_cast<std::size_t>(ev);
+    }
+
+    /** One (state, event-class) slot of the dispatch index: a span of
+     *  candidate row ids in dispatchRows_, declaration-ordered. */
+    struct DispatchSlot
+    {
+        std::uint32_t off = 0;
+        std::uint32_t len = 0;
+    };
+
     TransitionTable table_;
     std::vector<TwoBitDirectory> dirs_;
     std::vector<std::uint64_t> rowHits_;
+    /** Dense (state x event-class) first-row index, compiled at
+     *  registration from the validated table. */
+    std::vector<DispatchSlot> dispatchSlots_;
+    std::vector<std::uint16_t> dispatchRows_;
+    bool linearDispatch_ = false;
 };
 
 } // namespace dir2b

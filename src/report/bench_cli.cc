@@ -1,7 +1,10 @@
 #include "report/bench_cli.hh"
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 #include "util/logging.hh"
 #include "util/parallel.hh"
@@ -18,10 +21,22 @@ BenchOptions::resolvedThreads() const
 std::uint64_t
 parseByteSize(const char *s, const char *flag)
 {
+    // strtoull silently accepts a leading '-' (wrapping the value) and
+    // clamps out-of-range digits to ULLONG_MAX with errno=ERANGE; both
+    // would turn a typo into a near-infinite byte budget, so reject
+    // them explicitly.
+    const char *digits = s;
+    while (*digits == ' ' || *digits == '\t')
+        ++digits;
+    if (*digits == '-' || *digits == '+')
+        DIR2B_FATAL(flag, ": '", s, "' is not an unsigned byte count");
     char *end = nullptr;
+    errno = 0;
     const unsigned long long v = std::strtoull(s, &end, 10);
     if (end == s)
         DIR2B_FATAL(flag, ": '", s, "' is not a byte count");
+    if (errno == ERANGE)
+        DIR2B_FATAL(flag, ": '", s, "' overflows a 64-bit byte count");
     std::uint64_t mult = 1;
     if (*end == 'k' || *end == 'K')
         mult = 1ULL << 10, ++end;
@@ -31,7 +46,13 @@ parseByteSize(const char *s, const char *flag)
         mult = 1ULL << 30, ++end;
     if (*end != '\0')
         DIR2B_FATAL(flag, ": trailing junk in '", s,
-                    "' (suffixes: K, M, G)");
+                    "' (suffixes: k/K, m/M, g/G)");
+    constexpr std::uint64_t limit =
+        std::min<std::uint64_t>(std::numeric_limits<std::uint64_t>::max(),
+                                std::numeric_limits<std::size_t>::max());
+    if (v > limit / mult)
+        DIR2B_FATAL(flag, ": '", s, "' overflows size_t (", v,
+                    " * ", mult, ")");
     return static_cast<std::uint64_t>(v) * mult;
 }
 

@@ -74,7 +74,9 @@ BenchOptions parseBenchOptions(int argc, char **argv,
 /**
  * Parse a byte count with an optional K/M/G (KiB/MiB/GiB, case
  * insensitive) suffix — "256M", "1g", "4096".  Fatal (naming `flag`)
- * on anything else.
+ * on anything else, including negative values and counts that
+ * overflow size_t after the suffix multiply.  Shared by every byte
+ * knob (--dir-ram-budget, --trace-buffer).
  */
 std::uint64_t parseByteSize(const char *s, const char *flag);
 

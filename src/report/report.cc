@@ -208,6 +208,24 @@ checkDirStore(const Json &obj, const std::string &where)
     return "";
 }
 
+/** v4 rule: a "traceReplay" object carries complete provenance. */
+std::string
+checkTraceReplay(const Json &obj, const std::string &where)
+{
+    for (const char *key :
+         {"records", "blocks", "blockRecords", "mappedBytes"}) {
+        if (!obj.contains(key))
+            return where + " lacks '" + key +
+                   "' (schema_version >= 4)";
+        if (!obj.at(key).isNumber())
+            return where + ": '" + key + "' is not numeric";
+    }
+    if (!obj.contains("batched") ||
+        obj.at("batched").kind() != Json::Kind::Bool)
+        return where + " lacks a boolean 'batched'";
+    return "";
+}
+
 } // namespace
 
 std::string
@@ -273,6 +291,17 @@ validateSweepArtifact(const Json &a)
                 return where + ": 'dirStore' is not an object";
             if (auto err = checkDirStore(cell.at("dirStore"),
                                          where + " dirStore");
+                !err.empty())
+                return err;
+        }
+        if (cell.contains("traceReplay")) {
+            if (version < 4)
+                return where +
+                       ": 'traceReplay' needs schema_version >= 4";
+            if (!cell.at("traceReplay").isObject())
+                return where + ": 'traceReplay' is not an object";
+            if (auto err = checkTraceReplay(cell.at("traceReplay"),
+                                            where + " traceReplay");
                 !err.empty())
                 return err;
         }

@@ -45,8 +45,12 @@ namespace dir2b
  *  "dirStore" object (resident/compressed/segment bytes, per-tier
  *  page counts and tier-movement counters); when present it must be
  *  complete.  Timed cells may also carry epoch accounting (epochs /
- *  inlineEpochs / shardEpochsSkipped). */
-constexpr int reportSchemaVersion = 3;
+ *  inlineEpochs / shardEpochsSkipped).
+ *  v4: cells produced by replaying a binary trace (docs/TRACES.md)
+ *  may carry a "traceReplay" provenance object (records, blocks,
+ *  blockRecords, mappedBytes, batched flag); when present it must be
+ *  complete. */
+constexpr int reportSchemaVersion = 4;
 
 /** The "schema" discriminator string. */
 constexpr const char *reportSchemaName = "dir2b.sweep";

@@ -84,6 +84,19 @@ struct RunResult
 RunResult runFunctional(Protocol &proto, RefStream &stream,
                         const RunOptions &opts);
 
+class TraceBatchStream;
+
+/**
+ * Batched replay frontend: execute a run from whole record blocks of
+ * an mmap'ed binary trace (trace/trace_binary.hh), dispatching each
+ * AccessBatch span through one tight loop instead of the per-record
+ * virtual stream path.  Semantics (oracle, invariants, sampling,
+ * counters) are shared with runFunctional — replaying the trace that
+ * recorded a stream yields bit-identical results.
+ */
+RunResult runFunctionalBatched(Protocol &proto, TraceBatchStream &batches,
+                               const RunOptions &opts);
+
 } // namespace dir2b
 
 #endif // DIR2B_SYSTEM_FUNC_SYSTEM_HH

@@ -2,56 +2,49 @@
 
 #include <algorithm>
 #include <iomanip>
-#include <unordered_map>
+
+#include "trace/trace_binary.hh"
 
 namespace dir2b
 {
 
-TraceStats
-analyzeTrace(const std::vector<MemRef> &refs)
+void
+TraceStatsBuilder::add(ProcId proc, Addr addr, bool write)
 {
-    TraceStats s;
-
-    struct BlockInfo
-    {
-        std::uint64_t refs = 0;
-        bool manyTouchers = false;
-        bool manyWriters = false;
-        ProcId firstToucher = invalidProc;
-        ProcId firstWriter = invalidProc;
-    };
-    std::unordered_map<Addr, BlockInfo> blocks;
-
-    for (const MemRef &r : refs) {
-        ++s.refs;
-        if (r.proc >= s.perProc.size())
-            s.perProc.resize(r.proc + 1, 0);
-        ++s.perProc[r.proc];
-        if (r.write)
-            ++s.writes;
-        if (r.addr >= sharedRegionBase) {
-            ++s.sharedRefs;
-            if (r.write)
-                ++s.sharedWrites;
-        }
-
-        BlockInfo &b = blocks[r.addr];
-        ++b.refs;
-        if (b.firstToucher == invalidProc)
-            b.firstToucher = r.proc;
-        else if (b.firstToucher != r.proc)
-            b.manyTouchers = true;
-        if (r.write) {
-            if (b.firstWriter == invalidProc)
-                b.firstWriter = r.proc;
-            else if (b.firstWriter != r.proc)
-                b.manyWriters = true;
-        }
+    TraceStats &s = partial_;
+    ++s.refs;
+    if (proc >= s.perProc.size())
+        s.perProc.resize(proc + 1, 0);
+    ++s.perProc[proc];
+    if (write)
+        ++s.writes;
+    if (addr >= sharedRegionBase) {
+        ++s.sharedRefs;
+        if (write)
+            ++s.sharedWrites;
     }
 
-    s.distinctBlocks = blocks.size();
+    BlockInfo &b = blocks_[addr];
+    ++b.refs;
+    if (b.firstToucher == invalidProc)
+        b.firstToucher = proc;
+    else if (b.firstToucher != proc)
+        b.manyTouchers = true;
+    if (write) {
+        if (b.firstWriter == invalidProc)
+            b.firstWriter = proc;
+        else if (b.firstWriter != proc)
+            b.manyWriters = true;
+    }
+}
+
+TraceStats
+TraceStatsBuilder::finish() const
+{
+    TraceStats s = partial_;
+    s.distinctBlocks = blocks_.size();
     std::uint64_t hottest = 0;
-    for (const auto &[a, b] : blocks) {
+    for (const auto &[a, b] : blocks_) {
         hottest = std::max(hottest, b.refs);
         if (b.manyTouchers)
             ++s.readSharedBlocks;
@@ -65,6 +58,27 @@ analyzeTrace(const std::vector<MemRef> &refs)
         s.hottestBlockFrac =
             static_cast<double>(hottest) / static_cast<double>(s.refs);
     return s;
+}
+
+TraceStats
+analyzeTrace(const std::vector<MemRef> &refs)
+{
+    TraceStatsBuilder b;
+    for (const MemRef &r : refs)
+        b.add(r.proc, r.addr, r.write);
+    return b.finish();
+}
+
+TraceStats
+analyzeTrace(const TraceReader &reader)
+{
+    TraceStatsBuilder b;
+    for (std::size_t i = 0; i < reader.numBlocks(); ++i) {
+        const AccessBatch batch = reader.block(i);
+        for (const TraceRecord &rec : batch)
+            b.add(rec.proc, rec.addr, rec.write());
+    }
+    return b.finish();
 }
 
 void

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <ostream>
+#include <unordered_map>
 #include <vector>
 
 #include "trace/reference.hh"
@@ -64,8 +65,39 @@ struct TraceStats
     }
 };
 
+class TraceReader;
+
+/**
+ * Incremental accumulator behind analyzeTrace: add() one reference at
+ * a time (any order of calls a trace delivers), finish() to close the
+ * per-block aggregation.  Lets the mmap reader stream statistics over
+ * billion-reference traces without materialising a MemRef vector.
+ */
+class TraceStatsBuilder
+{
+  public:
+    void add(ProcId proc, Addr addr, bool write);
+    TraceStats finish() const;
+
+  private:
+    struct BlockInfo
+    {
+        std::uint64_t refs = 0;
+        bool manyTouchers = false;
+        bool manyWriters = false;
+        ProcId firstToucher = invalidProc;
+        ProcId firstWriter = invalidProc;
+    };
+
+    TraceStats partial_;
+    std::unordered_map<Addr, BlockInfo> blocks_;
+};
+
 /** Analyse a recorded reference sequence. */
 TraceStats analyzeTrace(const std::vector<MemRef> &refs);
+
+/** Analyse a binary trace block by block, zero-copy. */
+TraceStats analyzeTrace(const TraceReader &reader);
 
 /** Human-readable report. */
 void printTraceStats(std::ostream &os, const TraceStats &s);

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "report/bench_cli.hh"
 #include "report/report.hh"
 
 namespace dir2b
@@ -189,6 +190,124 @@ TEST(Report, PayloadComparisonIgnoresMeta)
     Json c = build(1, 100.0);
     c.set("bench", "bench_z");
     EXPECT_FALSE(sameArtifactPayload(a, c));
+}
+
+TEST(ParseByteSize, AcceptsPlainAndSuffixedCounts)
+{
+    EXPECT_EQ(parseByteSize("0", "--x"), 0u);
+    EXPECT_EQ(parseByteSize("4096", "--x"), 4096u);
+    EXPECT_EQ(parseByteSize("2K", "--x"), 2048u);
+    EXPECT_EQ(parseByteSize("2k", "--x"), 2048u);
+    EXPECT_EQ(parseByteSize("3M", "--x"), 3ull << 20);
+    EXPECT_EQ(parseByteSize("3m", "--x"), 3ull << 20);
+    EXPECT_EQ(parseByteSize("1G", "--x"), 1ull << 30);
+    EXPECT_EQ(parseByteSize("1g", "--x"), 1ull << 30);
+}
+
+TEST(ParseByteSizeDeath, RejectsGarbageAndTrailingJunk)
+{
+    EXPECT_DEATH(parseByteSize("fast", "--x"), "not a byte count");
+    EXPECT_DEATH(parseByteSize("", "--x"), "not a byte count");
+    EXPECT_DEATH(parseByteSize("12q", "--x"), "trailing junk");
+    EXPECT_DEATH(parseByteSize("12kb", "--x"), "trailing junk");
+}
+
+TEST(ParseByteSizeDeath, RejectsNegativeCounts)
+{
+    // strtoull would silently wrap "-1" to ULLONG_MAX.
+    EXPECT_DEATH(parseByteSize("-1", "--x"),
+                 "not an unsigned byte count");
+    EXPECT_DEATH(parseByteSize("  -5k", "--x"),
+                 "not an unsigned byte count");
+}
+
+TEST(ParseByteSizeDeath, RejectsOverflow)
+{
+    // More digits than 64 bits hold: strtoull clamps with ERANGE.
+    EXPECT_DEATH(parseByteSize("99999999999999999999999", "--x"),
+                 "overflows a 64-bit byte count");
+    // Fits in 64 bits before the suffix multiply, overflows after.
+    EXPECT_DEATH(parseByteSize("18446744073709551615k", "--x"),
+                 "overflows size_t");
+    EXPECT_DEATH(parseByteSize("18014398509481984g", "--x"),
+                 "overflows size_t");
+}
+
+namespace
+{
+
+/** Minimal valid sweep artifact with one cell carrying `extra`. */
+Json
+artifactWithCell(Json extra)
+{
+    Json cells = Json::array();
+    Json c = Json::object();
+    c.set("section", "run");
+    for (const auto &m : extra.members())
+        c.set(m.first, m.second);
+    cells.push(std::move(c));
+    Json a = makeSweepArtifact("bench_tr", Json(), std::move(cells));
+    stampMeta(a, 1, 1.0, false);
+    return a;
+}
+
+/** A complete v4 traceReplay object. */
+Json
+goodTraceReplay()
+{
+    Json t = Json::object();
+    t.set("records", 1000);
+    t.set("blocks", 2);
+    t.set("blockRecords", 512);
+    t.set("mappedBytes", 16160);
+    t.set("batched", true);
+    return t;
+}
+
+} // namespace
+
+TEST(Report, ValidatorAcceptsCompleteTraceReplayObject)
+{
+    const Json a = artifactWithCell(
+        Json::object().set("traceReplay", goodTraceReplay()));
+    EXPECT_EQ(validateSweepArtifact(a), "");
+}
+
+TEST(Report, ValidatorRejectsIncompleteTraceReplayObject)
+{
+    for (const char *missing :
+         {"records", "blocks", "blockRecords", "mappedBytes"}) {
+        Json t = Json::object();
+        for (const char *key :
+             {"records", "blocks", "blockRecords", "mappedBytes"})
+            if (std::string(key) != missing)
+                t.set(key, 1);
+        t.set("batched", false);
+        const Json a = artifactWithCell(
+            Json::object().set("traceReplay", std::move(t)));
+        const std::string err = validateSweepArtifact(a);
+        EXPECT_NE(err.find(missing), std::string::npos) << err;
+    }
+}
+
+TEST(Report, ValidatorRequiresBooleanBatchedFlag)
+{
+    Json t = goodTraceReplay();
+    t.set("batched", "yes");
+    const Json a = artifactWithCell(
+        Json::object().set("traceReplay", std::move(t)));
+    const std::string err = validateSweepArtifact(a);
+    EXPECT_NE(err.find("batched"), std::string::npos) << err;
+}
+
+TEST(Report, ValidatorRejectsTraceReplayBeforeV4)
+{
+    Json a = artifactWithCell(
+        Json::object().set("traceReplay", goodTraceReplay()));
+    a.set("schema_version", 3);
+    const std::string err = validateSweepArtifact(a);
+    EXPECT_NE(err.find("schema_version >= 4"), std::string::npos)
+        << err;
 }
 
 TEST(Report, WriteAndReadArtifactFile)

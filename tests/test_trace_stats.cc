@@ -19,7 +19,7 @@ namespace
 
 TEST(TraceStats, EmptyTrace)
 {
-    const TraceStats s = analyzeTrace({});
+    const TraceStats s = analyzeTrace(std::vector<MemRef>{});
     EXPECT_EQ(s.refs, 0u);
     EXPECT_DOUBLE_EQ(s.q(), 0.0);
     EXPECT_DOUBLE_EQ(s.w(), 0.0);

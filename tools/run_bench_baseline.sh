@@ -21,21 +21,24 @@
 # DIR2B_ALLOW_DEBUG_BENCH_LIB=1 is set, so the exception is always a
 # recorded, deliberate choice.
 #
-# Usage: tools/run_bench_baseline.sh [build-dir] [out.json]
+# Usage: tools/run_bench_baseline.sh [build-dir] [out.json] [target]
 #   build-dir defaults to build-bench (created/configured on demand;
 #   an existing tree is reconfigured to Release if needed).
+#   target selects the benchmark binary (default bench_throughput;
+#   BENCH_9.json is recorded from bench_trace_replay).
 
 set -eu
 
 build=${1:-build-bench}
 out=${2:-BENCH_7.json}
+target=${3:-bench_throughput}
 src=$(dirname "$0")/..
 
 cmake -S "$src" -B "$build" -DCMAKE_BUILD_TYPE=Release \
       -DDIR2B_NATIVE=OFF -DDIR2B_LTO=OFF >/dev/null
-cmake --build "$build" --target bench_throughput -j >/dev/null
+cmake --build "$build" --target "$target" -j >/dev/null
 
-"$build/bench/bench_throughput" \
+"$build/bench/$target" \
     --benchmark_repetitions=3 \
     --benchmark_report_aggregates_only=true \
     --benchmark_out="$out" \

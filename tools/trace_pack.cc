@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Binary-trace converter and inspector (docs/TRACES.md).
+ *
+ *   trace_pack pack   IN.trc  OUT.d2t [--buffer BYTES]
+ *   trace_pack unpack IN.d2t  OUT.trc
+ *   trace_pack info   FILE.d2t [--blocks]
+ *   trace_pack verify FILE.d2t
+ *
+ * `pack` converts the line-oriented text format (trace_io.hh) into
+ * the mmap-able block format (trace_binary.hh); `unpack` goes the
+ * other way, so any binary trace can be eyeballed or diffed.  `info`
+ * prints the file header (and with --blocks every block header with
+ * its digests) without touching record payload; `verify` recomputes
+ * every digest layer and fails loudly on the first corrupt block.
+ * Exits 0 on success; structural problems are fatal with a
+ * diagnostic naming the offending offset or block.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "report/bench_cli.hh"
+#include "trace/trace_binary.hh"
+#include "trace/trace_io.hh"
+#include "util/logging.hh"
+
+using namespace dir2b;
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s MODE ...\n"
+        "  pack IN.trc OUT.d2t [--buffer BYTES]\n"
+        "      convert a text trace to the binary block format\n"
+        "      (--buffer: writer block size, k/m/g suffixes;\n"
+        "      default 1M = 64Ki records per block)\n"
+        "  unpack IN.d2t OUT.trc\n"
+        "      convert a binary trace back to text\n"
+        "  info FILE.d2t [--blocks]\n"
+        "      print the file header; --blocks adds per-block\n"
+        "      headers and digests (never reads record payload)\n"
+        "  verify FILE.d2t\n"
+        "      recompute every block/running/file digest\n",
+        argv0);
+}
+
+int
+doPack(const std::string &in, const std::string &out,
+       std::uint64_t bufferBytes)
+{
+    std::ifstream is(in);
+    if (!is)
+        DIR2B_FATAL("cannot open '", in, "'");
+    const std::vector<MemRef> refs = readTrace(is);
+
+    std::uint32_t blockRecords = traceDefaultBlockRecords;
+    if (bufferBytes) {
+        const std::uint64_t recs =
+            std::max<std::uint64_t>(1,
+                                    bufferBytes / sizeof(TraceRecord));
+        blockRecords = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(recs, 1u << 28));
+    }
+    TraceWriter w(out, blockRecords);
+    w.append(refs.data(), refs.size());
+    w.finish();
+    std::printf("packed %llu records into %llu blocks (digest "
+                "%016llx): %s\n",
+                static_cast<unsigned long long>(w.recordsWritten()),
+                static_cast<unsigned long long>(w.blocksWritten()),
+                static_cast<unsigned long long>(w.fileDigest()),
+                out.c_str());
+    return 0;
+}
+
+int
+doUnpack(const std::string &in, const std::string &out)
+{
+    TraceReader reader(in);
+    std::vector<MemRef> refs;
+    refs.reserve(static_cast<std::size_t>(reader.totalRecords()));
+    for (std::size_t b = 0; b < reader.numBlocks(); ++b)
+        for (const TraceRecord &rec : reader.block(b))
+            refs.push_back(rec.toRef());
+    std::ofstream os(out);
+    if (!os)
+        DIR2B_FATAL("cannot open '", out, "' for writing");
+    writeTrace(os, refs);
+    std::printf("unpacked %zu records: %s\n", refs.size(),
+                out.c_str());
+    return 0;
+}
+
+int
+doInfo(const std::string &in, bool blocks)
+{
+    TraceReader reader(in);
+    const TraceFileHeader &h = reader.header();
+    std::printf("%-16s %.8s\n", "magic", h.magic);
+    std::printf("%-16s %u\n", "version", h.version);
+    std::printf("%-16s %08x\n", "endianTag", h.endianTag);
+    std::printf("%-16s %u\n", "recordBytes", h.recordBytes);
+    std::printf("%-16s %u\n", "blockRecords", h.blockRecords);
+    std::printf("%-16s %u\n", "numProcs", h.numProcs);
+    std::printf("%-16s %llu\n", "totalRecords",
+                static_cast<unsigned long long>(h.totalRecords));
+    std::printf("%-16s %llu\n", "numBlocks",
+                static_cast<unsigned long long>(h.numBlocks));
+    std::printf("%-16s %016llx\n", "fileDigest",
+                static_cast<unsigned long long>(h.fileDigest));
+    std::printf("%-16s %zu\n", "mappedBytes", reader.mappedBytes());
+    if (blocks) {
+        std::printf("%8s %10s %12s %16s %16s\n", "block", "records",
+                    "firstIndex", "blockDigest", "runningDigest");
+        for (std::size_t b = 0; b < reader.numBlocks(); ++b) {
+            const TraceBlockHeader &bh = reader.blockHeader(b);
+            std::printf(
+                "%8zu %10u %12llu %016llx %016llx\n", b, bh.records,
+                static_cast<unsigned long long>(bh.firstIndex),
+                static_cast<unsigned long long>(bh.blockDigest),
+                static_cast<unsigned long long>(bh.runningDigest));
+        }
+    }
+    return 0;
+}
+
+int
+doVerify(const std::string &in)
+{
+    TraceReader reader(in);
+    const std::uint64_t digest = reader.verify();
+    std::printf("verified %llu records in %zu blocks (digest "
+                "%016llx): %s\n",
+                static_cast<unsigned long long>(reader.totalRecords()),
+                reader.numBlocks(),
+                static_cast<unsigned long long>(digest), in.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage(argv[0]);
+        return 1;
+    }
+    const std::string mode = argv[1];
+    if (mode == "--help" || mode == "-h") {
+        usage(argv[0]);
+        return 0;
+    }
+
+    std::vector<std::string> paths;
+    std::uint64_t bufferBytes = 0;
+    bool blocks = false;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--buffer") {
+            if (++i >= argc)
+                DIR2B_FATAL("missing value for --buffer");
+            bufferBytes = parseByteSize(argv[i], "--buffer");
+        } else if (arg == "--blocks") {
+            blocks = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage(argv[0]);
+            DIR2B_FATAL("unknown option '", arg, "'");
+        } else {
+            paths.push_back(arg);
+        }
+    }
+
+    if (mode == "pack") {
+        if (paths.size() != 2)
+            DIR2B_FATAL("pack wants IN.trc OUT.d2t");
+        return doPack(paths[0], paths[1], bufferBytes);
+    }
+    if (mode == "unpack") {
+        if (paths.size() != 2)
+            DIR2B_FATAL("unpack wants IN.d2t OUT.trc");
+        return doUnpack(paths[0], paths[1]);
+    }
+    if (mode == "info") {
+        if (paths.size() != 1)
+            DIR2B_FATAL("info wants FILE.d2t");
+        return doInfo(paths[0], blocks);
+    }
+    if (mode == "verify") {
+        if (paths.size() != 1)
+            DIR2B_FATAL("verify wants FILE.d2t");
+        return doVerify(paths[0]);
+    }
+    usage(argv[0]);
+    DIR2B_FATAL("unknown mode '", mode, "'");
+}
