@@ -16,6 +16,7 @@
 #include "core/two_bit_directory.hh"
 #include "model/overhead_model.hh"
 #include "model/sharing_chain.hh"
+#include "obs/telemetry.hh"
 #include "proto/protocol_factory.hh"
 #include "sim/event_queue.hh"
 #include "timed/sharded_system.hh"
@@ -277,6 +278,58 @@ BM_TimedTwoBitEndToEnd(benchmark::State &state)
     state.SetItemsProcessed(static_cast<std::int64_t>(refs));
 }
 BENCHMARK(BM_TimedTwoBitEndToEnd);
+
+/**
+ * The end-to-end run above with a telemetry sampler attached
+ * (obs/telemetry.hh): the full 37-metric timed registry sampled every
+ * Arg(0) ticks.  The delta against BM_TimedTwoBitEndToEnd is the
+ * whole cost of time-series telemetry — boundary-clamped kernel
+ * chunking plus registry snapshots; statistics stay bit-identical
+ * (tests/test_telemetry.cc).
+ */
+void
+BM_TimedTwoBitEndToEndSampled(benchmark::State &state)
+{
+    const auto interval = static_cast<std::uint64_t>(state.range(0));
+    std::uint64_t refs = 0;
+    std::uint64_t samples = 0;
+    for (auto _ : state) {
+        TimedConfig cfg;
+        cfg.protocol = TimedProto::TwoBit;
+        cfg.numProcs = 4;
+        cfg.numModules = 2;
+        cfg.cacheGeom.sets = 16;
+        cfg.cacheGeom.ways = 2;
+        cfg.perBlockConcurrency = true;
+        cfg.network = NetKind::Crossbar;
+        TelemetrySampler sampler(SeriesDomain::Ticks, interval);
+        cfg.sampler = &sampler;
+        TimedSystem sys(cfg);
+
+        SyntheticConfig scfg;
+        scfg.numProcs = 4;
+        scfg.q = 0.2;
+        scfg.w = 0.3;
+        scfg.sharedBlocks = 8;
+        scfg.privateBlocks = 64;
+        scfg.hotBlocks = 16;
+        scfg.seed = 0xbe7c4;
+        SyntheticStream stream(scfg);
+
+        const auto r = sys.run(
+            [&](ProcId p) -> std::optional<MemRef> {
+                return stream.nextFor(p);
+            },
+            400);
+        refs += r.refsCompleted;
+        samples += sampler.samples();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(refs));
+    state.counters["samples_per_run"] = benchmark::Counter(
+        static_cast<double>(samples) /
+        static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_TimedTwoBitEndToEndSampled)->Arg(256)->Arg(64);
 
 /**
  * Sharded end-to-end timed tier: the same protocol partitioned by

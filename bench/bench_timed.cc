@@ -26,6 +26,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/telemetry.hh"
 #include "report/bench_cli.hh"
 #include "timed/sharded_system.hh"
 #include "timed/timed_system.hh"
@@ -80,7 +81,7 @@ netName(NetKind k)
 
 Cell
 runCell(const Spec &s, std::uint64_t refsPerProc, unsigned shards,
-        std::uint64_t dirRamBudget)
+        std::uint64_t dirRamBudget, TelemetrySampler *sampler = nullptr)
 {
     TimedConfig cfg;
     cfg.protocol = s.proto;
@@ -92,6 +93,7 @@ runCell(const Spec &s, std::uint64_t refsPerProc, unsigned shards,
     cfg.snoopFilter = s.snoop;
     cfg.network = s.net;
     cfg.dirRamBudget = dirRamBudget;
+    cfg.sampler = sampler;
 
     SyntheticConfig scfg;
     scfg.numProcs = s.n;
@@ -369,11 +371,19 @@ main(int argc, char **argv)
 
     const std::vector<Spec> grid = buildGrid();
     std::vector<Cell> cells(grid.size());
+    // --series-out samples the first comparison cell (two_bit, n=4,
+    // q=0.01): one cell keeps the artifact a single deterministic
+    // series, and sampling never changes any cell's statistics.
+    std::unique_ptr<TelemetrySampler> sampler;
+    if (bo.seriesRequested())
+        sampler = std::make_unique<TelemetrySampler>(
+            SeriesDomain::Ticks, bo.resolvedSeriesInterval());
     parallelFor(
         0, grid.size(),
         [&](std::size_t i) {
             cells[i] = runCell(grid[i], refs, bo.shards,
-                               bo.dirRamBudget);
+                               bo.dirRamBudget,
+                               i == 0 ? sampler.get() : nullptr);
         },
         bo.threads);
 
@@ -392,9 +402,32 @@ main(int argc, char **argv)
     params.set("shards", bo.shards);
     params.set("dirRamBudget",
                static_cast<unsigned long long>(bo.dirRamBudget));
+    if (sampler && !bo.seriesPath.empty()) {
+        const Spec &s0 = grid[0];
+        Json sp = Json::object();
+        sp.set("protocol", protoName(s0.proto));
+        sp.set("n", s0.n);
+        sp.set("q", s0.q);
+        sp.set("perBlock", s0.perBlock);
+        sp.set("net", netName(s0.net));
+        sp.set("refs", static_cast<unsigned long long>(refs));
+        sp.set("seed", 31);
+        sp.set("dirRamBudget",
+               static_cast<unsigned long long>(bo.dirRamBudget));
+        writeArtifact(bo.seriesPath,
+                      makeSeriesArtifact("bench_timed", std::move(sp),
+                                         *sampler));
+        std::printf("wrote %s (%zu samples)\n", bo.seriesPath.c_str(),
+                    sampler->samples());
+    }
+
     Json out = Json::array();
-    for (std::size_t i = 0; i < grid.size(); ++i)
-        out.push(cellJson(grid[i], cells[i]));
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        Json c = cellJson(grid[i], cells[i]);
+        if (i == 0 && sampler)
+            c.set("series", seriesProvenanceJson(*sampler));
+        out.push(std::move(c));
+    }
     emitArtifact(bo, "bench_timed", std::move(params), std::move(out),
                  Json(), timer);
     return 0;

@@ -40,10 +40,12 @@
 #include <string>
 #include <vector>
 
+#include "obs/telemetry.hh"
 #include "proto/protocol_factory.hh"
 #include "report/bench_cli.hh"
 #include "report/report.hh"
 #include "system/func_system.hh"
+#include "system/func_telemetry.hh"
 #include "timed/sharded_system.hh"
 #include "trace/synthetic.hh"
 #include "trace/trace_binary.hh"
@@ -68,6 +70,9 @@ struct Options
     bool procsSet = false;
     bool refsSet = false;
     std::string jsonPath;
+    std::string seriesPath;
+    std::uint64_t seriesInterval = 0; ///< 0 = sampling off
+    bool progress = false;
     std::vector<ProcId> sweepProcs;
     unsigned threads = 0;
     ProcId procs = 4;
@@ -125,6 +130,14 @@ usage(const char *argv0)
         "                      records per block)\n"
         "  --json FILE         export results as a JSON artifact\n"
         "                      (schema: docs/METRICS.md)\n"
+        "  --series-out FILE   record a dir2b.series time-series\n"
+        "                      artifact (docs/METRICS.md); sampling\n"
+        "                      never changes simulation results\n"
+        "  --series-interval N sample every N refs (functional) or N\n"
+        "                      ticks (--timed); suffixes k/m/g.\n"
+        "                      Default 4096 when sampling is on\n"
+        "  --progress          live progress line on stderr (refs/s,\n"
+        "                      ETA, interval rates); implies sampling\n"
         "  --sweep-procs LIST  run once per comma-separated processor\n"
         "                      count (e.g. 2,4,8), cells in parallel\n"
         "  --threads N         sweep-pool width (default: the\n"
@@ -212,6 +225,13 @@ parse(int argc, char **argv)
                                                "--trace-buffer");
         } else if (arg == "--json") {
             o.jsonPath = need(i);
+        } else if (arg == "--series-out") {
+            o.seriesPath = need(i);
+        } else if (arg == "--series-interval") {
+            o.seriesInterval = parseInterval(need(i),
+                                             "--series-interval");
+        } else if (arg == "--progress") {
+            o.progress = true;
         } else if (arg == "--sweep-procs") {
             std::string list = need(i);
             for (std::size_t pos = 0; pos < list.size();) {
@@ -334,6 +354,48 @@ configJson(const Options &o)
     return p;
 }
 
+/** Sampling is on when any series flag is given. */
+bool
+samplingRequested(const Options &o)
+{
+    return o.seriesInterval || !o.seriesPath.empty() || o.progress;
+}
+
+/** The sample interval, defaulting to 4096 domain units. */
+std::uint64_t
+effectiveInterval(const Options &o)
+{
+    return o.seriesInterval ? o.seriesInterval : 4096;
+}
+
+/**
+ * Series params: the deterministic run configuration only.  Host
+ * knobs (shards, threads) and bit-identical A/B knobs (fastForward)
+ * are deliberately excluded so serial and sharded runs of the same
+ * configuration emit byte-identical artifacts (docs/METRICS.md).
+ */
+Json
+seriesParams(const Options &o)
+{
+    Json p = configJson(o);
+    if (o.timed) {
+        p.set("timed", true);
+        p.set("think", static_cast<unsigned long long>(o.think));
+    }
+    return p;
+}
+
+void
+writeSeries(const Options &o, const TelemetrySampler &s)
+{
+    if (o.seriesPath.empty())
+        return;
+    writeArtifact(o.seriesPath,
+                  makeSeriesArtifact("dir2bsim", seriesParams(o), s));
+    std::printf("wrote %s (%zu samples)\n", o.seriesPath.c_str(),
+                s.samples());
+}
+
 /** The v4 "traceReplay" provenance object for a replayed cell. */
 Json
 traceReplayJson(const TraceReader &reader, bool batched)
@@ -387,6 +449,9 @@ runSweep(const Options &o)
 {
     if (!o.tracePath.empty())
         DIR2B_FATAL("--sweep-procs runs synthetic workloads only");
+    if (samplingRequested(o))
+        DIR2B_FATAL("--series-out/--series-interval/--progress sample "
+                    "a single run, not a --sweep-procs grid");
 
     const auto start = std::chrono::steady_clock::now();
     struct Cell
@@ -515,6 +580,19 @@ runTimed(Options o)
     if (reader)
         procSrc = std::make_unique<TraceProcSource>(*reader, procs);
 
+    std::unique_ptr<TelemetrySampler> sampler;
+    std::unique_ptr<ProgressMeter> meter;
+    if (samplingRequested(o)) {
+        sampler = std::make_unique<TelemetrySampler>(
+            SeriesDomain::Ticks, effectiveInterval(o));
+        if (o.progress) {
+            meter = std::make_unique<ProgressMeter>(
+                refsPerProc * procs);
+            sampler->attachProgress(meter.get());
+        }
+        cfg.sampler = sampler.get();
+    }
+
     const auto start = std::chrono::steady_clock::now();
     const TimedRunResult r = runTimedWorkload(
         cfg, o.shards, o.threads,
@@ -575,6 +653,9 @@ runTimed(Options o)
                 static_cast<unsigned long long>(r.readsChecked),
                 static_cast<unsigned long long>(r.writesRecorded));
 
+    if (sampler)
+        writeSeries(o, *sampler);
+
     if (!o.jsonPath.empty()) {
         Json cells = Json::array();
         Json c = Json::object();
@@ -606,6 +687,8 @@ runTimed(Options o)
             c.set("dirStore", dirStoreJson(r.dirStore));
         if (reader)
             c.set("traceReplay", traceReplayJson(*reader, false));
+        if (sampler)
+            c.set("series", seriesProvenanceJson(*sampler));
         cells.push(std::move(c));
         Json params = configJson(o);
         params.set("shards", o.shards);
@@ -633,6 +716,11 @@ int
 main(int argc, char **argv)
 {
     Options o = parse(argc, argv);
+
+    if (samplingRequested(o) &&
+        (o.analyze || !o.recordPath.empty() || !o.traceOutPath.empty()))
+        DIR2B_FATAL("--series-out/--series-interval/--progress need a "
+                    "simulation run, not --analyze/--record/--trace-out");
 
     if (!o.traceOutPath.empty())
         return recordBinary(o);
@@ -693,6 +781,18 @@ main(int argc, char **argv)
                                         : o.refs;
     opts.checkCoherence = !o.noOracle;
     opts.invariantEvery = o.invariants ? 1000 : 0;
+    std::unique_ptr<TelemetrySampler> sampler;
+    std::unique_ptr<ProgressMeter> meter;
+    if (samplingRequested(o)) {
+        sampler = std::make_unique<TelemetrySampler>(
+            SeriesDomain::Refs, effectiveInterval(o));
+        registerFunctionalMetrics(sampler->registry(), *proto);
+        if (o.progress) {
+            meter = std::make_unique<ProgressMeter>(opts.numRefs);
+            sampler->attachProgress(meter.get());
+        }
+        opts.sampler = sampler.get();
+    }
     RunResult r;
     if (reader) {
         TraceBatchStream batches(*reader);
@@ -743,6 +843,9 @@ main(int argc, char **argv)
     if (!o.noOracle)
         std::printf("# coherence: every read verified\n");
 
+    if (sampler)
+        writeSeries(o, *sampler);
+
     if (!o.jsonPath.empty()) {
         Json cells = Json::array();
         Json c = Json::object();
@@ -754,6 +857,8 @@ main(int argc, char **argv)
             c.set("dirStore", dirStoreJson(dirStore));
         if (reader)
             c.set("traceReplay", traceReplayJson(*reader, true));
+        if (sampler)
+            c.set("series", seriesProvenanceJson(*sampler));
         cells.push(std::move(c));
         Json artifact = makeSweepArtifact("dir2bsim", configJson(o),
                                           std::move(cells));

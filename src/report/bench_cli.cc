@@ -1,10 +1,7 @@
 #include "report/bench_cli.hh"
 
-#include <algorithm>
-#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
-#include <limits>
 
 #include "util/logging.hh"
 #include "util/parallel.hh"
@@ -16,44 +13,6 @@ unsigned
 BenchOptions::resolvedThreads() const
 {
     return threads ? threads : defaultThreadCount();
-}
-
-std::uint64_t
-parseByteSize(const char *s, const char *flag)
-{
-    // strtoull silently accepts a leading '-' (wrapping the value) and
-    // clamps out-of-range digits to ULLONG_MAX with errno=ERANGE; both
-    // would turn a typo into a near-infinite byte budget, so reject
-    // them explicitly.
-    const char *digits = s;
-    while (*digits == ' ' || *digits == '\t')
-        ++digits;
-    if (*digits == '-' || *digits == '+')
-        DIR2B_FATAL(flag, ": '", s, "' is not an unsigned byte count");
-    char *end = nullptr;
-    errno = 0;
-    const unsigned long long v = std::strtoull(s, &end, 10);
-    if (end == s)
-        DIR2B_FATAL(flag, ": '", s, "' is not a byte count");
-    if (errno == ERANGE)
-        DIR2B_FATAL(flag, ": '", s, "' overflows a 64-bit byte count");
-    std::uint64_t mult = 1;
-    if (*end == 'k' || *end == 'K')
-        mult = 1ULL << 10, ++end;
-    else if (*end == 'm' || *end == 'M')
-        mult = 1ULL << 20, ++end;
-    else if (*end == 'g' || *end == 'G')
-        mult = 1ULL << 30, ++end;
-    if (*end != '\0')
-        DIR2B_FATAL(flag, ": trailing junk in '", s,
-                    "' (suffixes: k/K, m/M, g/G)");
-    constexpr std::uint64_t limit =
-        std::min<std::uint64_t>(std::numeric_limits<std::uint64_t>::max(),
-                                std::numeric_limits<std::size_t>::max());
-    if (v > limit / mult)
-        DIR2B_FATAL(flag, ": '", s, "' overflows size_t (", v,
-                    " * ", mult, ")");
-    return static_cast<std::uint64_t>(v) * mult;
 }
 
 BenchOptions
@@ -76,7 +35,13 @@ parseBenchOptions(int argc, char **argv, const std::string &bench,
             "  --dir-ram-budget BYTES\n"
             "                directory RAM budget per run (K/M/G\n"
             "                suffixes; 0 = unlimited); statistics are\n"
-            "                bit-identical at any budget\n",
+            "                bit-identical at any budget\n"
+            "  --series-out PATH\n"
+            "                record a dir2b.series telemetry artifact\n"
+            "                from one designated cell (timed benches)\n"
+            "  --series-interval N\n"
+            "                sample every N ticks (k/m/g suffixes;\n"
+            "                default 4096 with --series-out)\n",
             blurb.c_str(), bench.c_str());
     };
     auto need = [&](int &i) -> const char * {
@@ -103,6 +68,11 @@ parseBenchOptions(int argc, char **argv, const std::string &bench,
         } else if (arg == "--dir-ram-budget") {
             o.dirRamBudget = parseByteSize(need(i),
                                            "--dir-ram-budget");
+        } else if (arg == "--series-out") {
+            o.seriesPath = need(i);
+        } else if (arg == "--series-interval") {
+            o.seriesInterval = parseInterval(need(i),
+                                             "--series-interval");
         } else if (arg == "--help" || arg == "-h") {
             usage();
             std::exit(0);

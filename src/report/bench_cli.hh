@@ -22,6 +22,13 @@
  *                 Statistics are bit-identical at any budget; only
  *                 host memory and wall clock move.  Benches without a
  *                 two-bit directory accept and ignore it.
+ *   --series-out PATH
+ *                 record a dir2b.series telemetry artifact from one
+ *                 designated cell (benches with a timed tier; others
+ *                 accept and ignore it — see each bench's blurb)
+ *   --series-interval N
+ *                 sample every N ticks (suffixes k/m/g; default 4096
+ *                 when --series-out is given)
  *
  * parseBenchOptions() also wires --threads into
  * setDefaultThreadCount() so nested library code sees the same width.
@@ -36,6 +43,7 @@
 #include <string>
 
 #include "report/report.hh"
+#include "util/parse_args.hh"
 
 namespace dir2b
 {
@@ -48,6 +56,22 @@ struct BenchOptions
     bool quick = false;
     unsigned shards = 1;  ///< timed-engine shards per run (1 = serial)
     std::uint64_t dirRamBudget = 0; ///< bytes; 0 = unlimited
+    std::string seriesPath;           ///< empty = no series artifact
+    std::uint64_t seriesInterval = 0; ///< 0 = default when sampling
+
+    /** Telemetry sampling requested (either series flag). */
+    bool
+    seriesRequested() const
+    {
+        return seriesInterval != 0 || !seriesPath.empty();
+    }
+
+    /** The sample interval to use (default 4096 domain units). */
+    std::uint64_t
+    resolvedSeriesInterval() const
+    {
+        return seriesInterval ? seriesInterval : 4096;
+    }
 
     /** Per-cell reference budget: full size, or ~1/10 under --quick
      *  (floored so tiny grids still exercise every code path). */
@@ -70,15 +94,6 @@ struct BenchOptions
 BenchOptions parseBenchOptions(int argc, char **argv,
                                const std::string &bench,
                                const std::string &blurb);
-
-/**
- * Parse a byte count with an optional K/M/G (KiB/MiB/GiB, case
- * insensitive) suffix — "256M", "1g", "4096".  Fatal (naming `flag`)
- * on anything else, including negative values and counts that
- * overflow size_t after the suffix multiply.  Shared by every byte
- * knob (--dir-ram-budget, --trace-buffer).
- */
-std::uint64_t parseByteSize(const char *s, const char *flag);
 
 /** Wall-clock timer for the meta block. */
 class WallTimer

@@ -226,6 +226,25 @@ checkTraceReplay(const Json &obj, const std::string &where)
     return "";
 }
 
+/** v5 rule: a "series" object carries complete sampling provenance. */
+std::string
+checkSeries(const Json &obj, const std::string &where)
+{
+    if (!obj.contains("domain") || !obj.at("domain").isString() ||
+        (obj.at("domain").asString() != "refs" &&
+         obj.at("domain").asString() != "ticks"))
+        return where + " lacks a 'domain' of \"refs\" or \"ticks\" "
+                       "(schema_version >= 5)";
+    for (const char *key : {"interval", "metrics", "samples"}) {
+        if (!obj.contains(key))
+            return where + " lacks '" + key +
+                   "' (schema_version >= 5)";
+        if (!obj.at(key).isNumber())
+            return where + ": '" + key + "' is not numeric";
+    }
+    return "";
+}
+
 } // namespace
 
 std::string
@@ -302,6 +321,16 @@ validateSweepArtifact(const Json &a)
                 return where + ": 'traceReplay' is not an object";
             if (auto err = checkTraceReplay(cell.at("traceReplay"),
                                             where + " traceReplay");
+                !err.empty())
+                return err;
+        }
+        if (cell.contains("series")) {
+            if (version < 5)
+                return where + ": 'series' needs schema_version >= 5";
+            if (!cell.at("series").isObject())
+                return where + ": 'series' is not an object";
+            if (auto err = checkSeries(cell.at("series"),
+                                       where + " series");
                 !err.empty())
                 return err;
         }

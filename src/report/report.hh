@@ -49,8 +49,12 @@ namespace dir2b
  *  v4: cells produced by replaying a binary trace (docs/TRACES.md)
  *  may carry a "traceReplay" provenance object (records, blocks,
  *  blockRecords, mappedBytes, batched flag); when present it must be
- *  complete. */
-constexpr int reportSchemaVersion = 4;
+ *  complete.
+ *  v5: cells whose run was telemetry-sampled (obs/telemetry.hh) may
+ *  carry a "series" provenance object (domain, interval, metrics,
+ *  samples) pointing at the companion dir2b.series artifact; when
+ *  present it must be complete. */
+constexpr int reportSchemaVersion = 5;
 
 /** The "schema" discriminator string. */
 constexpr const char *reportSchemaName = "dir2b.sweep";

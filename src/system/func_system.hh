@@ -26,6 +26,8 @@
 namespace dir2b
 {
 
+class TelemetrySampler;
+
 /** Knobs of one functional run. */
 struct RunOptions
 {
@@ -39,6 +41,11 @@ struct RunOptions
     std::uint64_t sampleEvery = 0;
     /** Extent of the shared region for occupancy sampling. */
     std::size_t sharedBlocks = 0;
+    /** Optional time-series sampler (obs/telemetry.hh), snapshotting
+     *  every sampler->interval() completed references.  The caller
+     *  registers metrics (system/func_telemetry.hh) before the run.
+     *  Sampling never perturbs results. */
+    TelemetrySampler *sampler = nullptr;
 };
 
 /** Measurements of one functional run. */

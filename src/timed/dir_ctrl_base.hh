@@ -81,6 +81,9 @@ class TimedDirCtrl
     /** True when no request is queued or in flight. */
     bool quiesced() const { return queue_.empty() && busy_.empty(); }
 
+    /** Commands currently queued (telemetry gauge). */
+    std::size_t queueDepth() const { return queue_.size(); }
+
     /** Render queued and in-flight work (diagnostics). */
     std::string stuckReport() const;
 

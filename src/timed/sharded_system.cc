@@ -8,6 +8,7 @@
 #include "timed/timed_audit.hh"
 #include "timed/yf_cache_ctrl.hh"
 #include "timed/yf_dir_ctrl.hh"
+#include "obs/telemetry.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
 
@@ -171,6 +172,22 @@ ShardedTimedSystem::run(const ProcSource &source,
     source_ = source;
     remaining_.assign(cfg_.numProcs, refsPerProc);
 
+    TelemetrySampler *sampler = cfg_.sampler;
+    if (sampler) {
+        telemetryView_.caches = &caches_;
+        telemetryView_.dirs = &dirs_;
+        telemetryView_.queues.clear();
+        telemetryView_.nets.clear();
+        telemetryView_.completed.clear();
+        for (const auto &shp : shards_) {
+            telemetryView_.queues.push_back(&shp->eq);
+            telemetryView_.nets.push_back(shp->net.get());
+            telemetryView_.completed.push_back(&shp->completed);
+        }
+        telemetryView_.contention = replayNet_.get();
+        registerTimedMetrics(sampler->registry(), telemetryView_);
+    }
+
     // The induction base: the initial kicks carry the exact keys
     // (0..P-1) the serial engine's schedule loop assigns them.
     nextKey_ = 0;
@@ -202,8 +219,21 @@ ShardedTimedSystem::run(const ProcSource &source,
         }
         if (mn == maxTick)
             break; // every wheel drained and nothing in flight
-        const Tick horizon =
+
+        // Merge-replay barrier = sampling point.  Every event below
+        // mn has executed and been merged (mn is the global minimum
+        // pending tick), and nothing at or beyond the previous —
+        // boundary-clamped — horizon has, so each boundary <= mn sees
+        // exactly the serial engine's state.  Clamping the next
+        // horizon to nextBoundary() keeps that invariant for the
+        // following epoch; progress is preserved because after the
+        // flush the next boundary lies strictly beyond mn.
+        if (sampler)
+            sampler->flushUpTo(mn);
+        Tick horizon =
             mn > maxTick - lookahead ? maxTick : mn + lookahead;
+        if (sampler)
+            horizon = std::min(horizon, sampler->nextBoundary());
 
         unsigned active = 0;
         for (unsigned s = 0; s < numShards_; ++s)
@@ -281,6 +311,9 @@ ShardedTimedSystem::run(const ProcSource &source,
         messages += shp->net->messagesSent();
         broadcasts += shp->net->broadcastsSent();
     }
+    if (sampler)
+        sampler->finish(finalTick);
+
     TimedRunResult r = aggregateTimedResult(
         caches_, dirs_, oracle_, finalTick, completed, events,
         messages, broadcasts, replayNet_->portWaitCycles());

@@ -168,6 +168,8 @@ class ShardedTimedSystem
 
     /** Per-shard next-event bounds of the current epoch (scratch). */
     std::vector<Tick> bounds_;
+    /** Probe context for cfg_.sampler (lives as long as the run). */
+    TimedTelemetryView telemetryView_;
     /** Quiescent-epoch fast-forward accounting (see TimedRunResult). */
     std::uint64_t epochs_ = 0;
     std::uint64_t inlineEpochs_ = 0;

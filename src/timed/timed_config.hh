@@ -27,6 +27,7 @@ namespace dir2b
 {
 
 class TraceRecorder;
+class TelemetrySampler;
 
 /** Interconnection-network model of the timed tier. */
 enum class NetKind
@@ -110,6 +111,17 @@ struct TimedConfig
      * results are bit-identical with or without a recorder attached.
      */
     TraceRecorder *tracer = nullptr;
+
+    /**
+     * Optional time-series sampler (obs/telemetry.hh).  When non-null
+     * the engine registers the timed metric set in its registry and
+     * snapshots it every sampler->interval() ticks, at points where
+     * the simulation state is exact for the boundary — the serial
+     * engine between kernel chunks, the sharded engine at merge-replay
+     * barriers — so serial and sharded runs emit byte-identical
+     * series.  Sampling never perturbs simulation statistics.
+     */
+    TelemetrySampler *sampler = nullptr;
 };
 
 } // namespace dir2b

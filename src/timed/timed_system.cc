@@ -8,6 +8,7 @@
 #include "timed/fm_dir_ctrl.hh"
 #include "timed/yf_cache_ctrl.hh"
 #include "timed/yf_dir_ctrl.hh"
+#include "obs/telemetry.hh"
 #include "util/logging.hh"
 
 namespace dir2b
@@ -106,16 +107,46 @@ TimedSystem::run(const ProcSource &source, std::uint64_t refsPerProc)
     source_ = source;
     remaining_.assign(cfg_.numProcs, refsPerProc);
 
+    TelemetrySampler *sampler = cfg_.sampler;
+    if (sampler) {
+        telemetryView_.caches = &caches_;
+        telemetryView_.dirs = &dirs_;
+        telemetryView_.queues = {&eq_};
+        telemetryView_.nets = {net_.get()};
+        telemetryView_.contention = net_.get();
+        telemetryView_.completed = {&completed_};
+        registerTimedMetrics(sampler->registry(), telemetryView_);
+    }
+
     for (ProcId p = 0; p < cfg_.numProcs; ++p) {
         // Stagger the first issues by one tick to avoid an artificial
         // fully-synchronous start (the §3.2.5 races still occur).
         eq_.scheduleAt(p % 3, [this, p] { issueNext(p); });
     }
 
-    if (!eq_.run(cfg_.maxEvents)) {
-        DIR2B_FATAL("timed run exceeded ", cfg_.maxEvents,
-                    " events: protocol livelock? (",
-                    completed_, " refs completed)");
+    if (!sampler) {
+        if (!eq_.run(cfg_.maxEvents)) {
+            DIR2B_FATAL("timed run exceeded ", cfg_.maxEvents,
+                        " events: protocol livelock? (",
+                        completed_, " refs completed)");
+        }
+    } else {
+        // Boundary-clamped chunks: before executing anything at or
+        // past tick `next`, every sampling boundary <= next is exact
+        // (all events below it executed, none at or above), so flush
+        // them; then run the kernel up to the next boundary at most.
+        std::uint64_t budget = cfg_.maxEvents;
+        for (;;) {
+            const Tick next = eq_.nextTickExact();
+            if (next == maxTick)
+                break;
+            sampler->flushUpTo(next);
+            if (!eq_.runUntil(sampler->nextBoundary(), budget)) {
+                DIR2B_FATAL("timed run exceeded ", cfg_.maxEvents,
+                            " events: protocol livelock? (",
+                            completed_, " refs completed)");
+            }
+        }
     }
 
     for (ModuleId m = 0; m < cfg_.numModules; ++m) {
@@ -123,6 +154,9 @@ TimedSystem::run(const ProcSource &source, std::uint64_t refsPerProc)
                      " did not quiesce: ", dirs_[m]->stuckReport());
     }
     auditTimedFinalState(caches_, dirs_, oracle_);
+
+    if (sampler)
+        sampler->finish(eq_.now());
 
     return aggregateTimedResult(caches_, dirs_, oracle_, eq_.now(),
                                 completed_, eq_.executed(),

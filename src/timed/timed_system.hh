@@ -26,6 +26,7 @@
 #include "timed/timed_config.hh"
 #include "timed/timed_net.hh"
 #include "timed/timed_oracle.hh"
+#include "timed/timed_telemetry.hh"
 #include "trace/reference.hh"
 
 namespace dir2b
@@ -145,6 +146,8 @@ class TimedSystem
     ProcSource source_;
     std::vector<std::uint64_t> remaining_;
     std::uint64_t completed_ = 0;
+    /** Probe context for cfg_.sampler (lives as long as the run). */
+    TimedTelemetryView telemetryView_;
 };
 
 } // namespace dir2b

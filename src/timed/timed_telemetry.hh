@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Timed-tier metric registration for the telemetry sampler.
+ *
+ * Both timed engines expose the same components — caches, directory
+ * controllers, event kernel(s), network(s) — just in different
+ * multiplicities: the serial TimedSystem has one kernel and one
+ * network, the sharded engine one of each per shard plus the shared
+ * replay network that owns contention state.  TimedTelemetryView
+ * normalises that difference into pointer lists, and
+ * registerTimedMetrics() registers ONE metric set (same names, same
+ * order) whose probes sum across the lists — which is why a serial
+ * and a sharded run emit byte-identical series: at every sampling
+ * boundary both have executed exactly the events with tick below the
+ * boundary, so every summed counter agrees.
+ */
+
+#ifndef DIR2B_TIMED_TIMED_TELEMETRY_HH
+#define DIR2B_TIMED_TIMED_TELEMETRY_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace dir2b
+{
+
+class EventQueue;
+class MetricRegistry;
+class TimedDirCtrl;
+class TimedNetwork;
+class TwoBitCacheCtrl;
+
+/**
+ * Borrowed pointers into a timed engine, filled by the engine at the
+ * start of run() and kept alive (as an engine member) for the whole
+ * run so registered probes can read through it.
+ */
+struct TimedTelemetryView
+{
+    /** Flat cache table in processor order. */
+    const std::vector<std::unique_ptr<TwoBitCacheCtrl>> *caches =
+        nullptr;
+    /** Flat controller table in module order. */
+    const std::vector<std::unique_ptr<TimedDirCtrl>> *dirs = nullptr;
+    /** Every event kernel (one serial; one per shard sharded). */
+    std::vector<const EventQueue *> queues;
+    /** Every message-counting network (shard nets count sends at
+     *  send time, so their sums match the serial network). */
+    std::vector<const TimedNetwork *> nets;
+    /** The network that owns contention state (port wait / bus busy):
+     *  the one network serially, the replay network sharded. */
+    const TimedNetwork *contention = nullptr;
+    /** Per-engine completed-reference counters. */
+    std::vector<const std::uint64_t *> completed;
+};
+
+/** Register the timed metric set (docs/METRICS.md) against `view`.
+ *  `view` must outlive every read of `reg`. */
+void registerTimedMetrics(MetricRegistry &reg,
+                          const TimedTelemetryView &view);
+
+} // namespace dir2b
+
+#endif // DIR2B_TIMED_TIMED_TELEMETRY_HH

@@ -1,0 +1,66 @@
+#include "util/parse_args.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace dir2b
+{
+
+std::uint64_t
+parseScaledUint(const char *s, const char *flag, const char *noun)
+{
+    // strtoull silently accepts a leading '-' (wrapping the value) and
+    // clamps out-of-range digits to ULLONG_MAX with errno=ERANGE; both
+    // would turn a typo into a near-infinite budget, so reject them
+    // explicitly.
+    const char *digits = s;
+    while (*digits == ' ' || *digits == '\t')
+        ++digits;
+    if (*digits == '-' || *digits == '+')
+        DIR2B_FATAL(flag, ": '", s, "' is not an unsigned ", noun);
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    if (end == s)
+        DIR2B_FATAL(flag, ": '", s, "' is not a valid ", noun);
+    if (errno == ERANGE)
+        DIR2B_FATAL(flag, ": '", s, "' overflows a 64-bit ", noun);
+    std::uint64_t mult = 1;
+    if (*end == 'k' || *end == 'K')
+        mult = 1ULL << 10, ++end;
+    else if (*end == 'm' || *end == 'M')
+        mult = 1ULL << 20, ++end;
+    else if (*end == 'g' || *end == 'G')
+        mult = 1ULL << 30, ++end;
+    if (*end != '\0')
+        DIR2B_FATAL(flag, ": trailing junk in '", s,
+                    "' (suffixes: k/K, m/M, g/G)");
+    constexpr std::uint64_t limit =
+        std::min<std::uint64_t>(std::numeric_limits<std::uint64_t>::max(),
+                                std::numeric_limits<std::size_t>::max());
+    if (v > limit / mult)
+        DIR2B_FATAL(flag, ": '", s, "' overflows size_t (", v,
+                    " * ", mult, ")");
+    return static_cast<std::uint64_t>(v) * mult;
+}
+
+std::uint64_t
+parseByteSize(const char *s, const char *flag)
+{
+    return parseScaledUint(s, flag, "byte count");
+}
+
+std::uint64_t
+parseInterval(const char *s, const char *flag)
+{
+    const std::uint64_t v = parseScaledUint(s, flag, "interval");
+    if (v == 0)
+        DIR2B_FATAL(flag, ": interval must be at least 1");
+    return v;
+}
+
+} // namespace dir2b

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for the shared command-line value parsers
+ * (util/parse_args.hh): the K/M/G byte-size grammar shared by
+ * --dir-ram-budget / --trace-buffer, and the interval variant used by
+ * --series-interval (same grammar, zero rejected).
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/parse_args.hh"
+
+namespace dir2b
+{
+namespace
+{
+
+TEST(ParseByteSize, AcceptsPlainAndSuffixedCounts)
+{
+    EXPECT_EQ(parseByteSize("0", "--x"), 0u);
+    EXPECT_EQ(parseByteSize("4096", "--x"), 4096u);
+    EXPECT_EQ(parseByteSize("2K", "--x"), 2048u);
+    EXPECT_EQ(parseByteSize("2k", "--x"), 2048u);
+    EXPECT_EQ(parseByteSize("3M", "--x"), 3ull << 20);
+    EXPECT_EQ(parseByteSize("3m", "--x"), 3ull << 20);
+    EXPECT_EQ(parseByteSize("1G", "--x"), 1ull << 30);
+    EXPECT_EQ(parseByteSize("1g", "--x"), 1ull << 30);
+}
+
+TEST(ParseByteSizeDeath, RejectsGarbageAndTrailingJunk)
+{
+    EXPECT_DEATH(parseByteSize("fast", "--x"),
+                 "not a valid byte count");
+    EXPECT_DEATH(parseByteSize("", "--x"), "not a valid byte count");
+    EXPECT_DEATH(parseByteSize("12q", "--x"), "trailing junk");
+    EXPECT_DEATH(parseByteSize("12kb", "--x"), "trailing junk");
+}
+
+TEST(ParseByteSizeDeath, RejectsNegativeCounts)
+{
+    // strtoull would silently wrap "-1" to ULLONG_MAX.
+    EXPECT_DEATH(parseByteSize("-1", "--x"),
+                 "not an unsigned byte count");
+    EXPECT_DEATH(parseByteSize("  -5k", "--x"),
+                 "not an unsigned byte count");
+}
+
+TEST(ParseByteSizeDeath, RejectsOverflow)
+{
+    // More digits than 64 bits hold: strtoull clamps with ERANGE.
+    EXPECT_DEATH(parseByteSize("99999999999999999999999", "--x"),
+                 "overflows a 64-bit byte count");
+    // Fits in 64 bits before the suffix multiply, overflows after.
+    EXPECT_DEATH(parseByteSize("18446744073709551615k", "--x"),
+                 "overflows size_t");
+    EXPECT_DEATH(parseByteSize("18014398509481984g", "--x"),
+                 "overflows size_t");
+}
+
+TEST(ParseInterval, SharesTheByteSizeGrammar)
+{
+    EXPECT_EQ(parseInterval("1", "--x"), 1u);
+    EXPECT_EQ(parseInterval("4096", "--x"), 4096u);
+    EXPECT_EQ(parseInterval("64k", "--x"), 64u << 10);
+    EXPECT_EQ(parseInterval("2M", "--x"), 2ull << 20);
+}
+
+TEST(ParseIntervalDeath, RejectsZeroAndGarbage)
+{
+    // A sampler cannot advance by zero references or ticks.
+    EXPECT_DEATH(parseInterval("0", "--x"),
+                 "interval must be at least 1");
+    EXPECT_DEATH(parseInterval("soon", "--x"),
+                 "not a valid interval");
+    EXPECT_DEATH(parseInterval("-2", "--x"),
+                 "not an unsigned interval");
+    EXPECT_DEATH(parseInterval("5s", "--x"), "trailing junk");
+}
+
+} // namespace
+} // namespace dir2b

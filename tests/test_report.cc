@@ -192,47 +192,6 @@ TEST(Report, PayloadComparisonIgnoresMeta)
     EXPECT_FALSE(sameArtifactPayload(a, c));
 }
 
-TEST(ParseByteSize, AcceptsPlainAndSuffixedCounts)
-{
-    EXPECT_EQ(parseByteSize("0", "--x"), 0u);
-    EXPECT_EQ(parseByteSize("4096", "--x"), 4096u);
-    EXPECT_EQ(parseByteSize("2K", "--x"), 2048u);
-    EXPECT_EQ(parseByteSize("2k", "--x"), 2048u);
-    EXPECT_EQ(parseByteSize("3M", "--x"), 3ull << 20);
-    EXPECT_EQ(parseByteSize("3m", "--x"), 3ull << 20);
-    EXPECT_EQ(parseByteSize("1G", "--x"), 1ull << 30);
-    EXPECT_EQ(parseByteSize("1g", "--x"), 1ull << 30);
-}
-
-TEST(ParseByteSizeDeath, RejectsGarbageAndTrailingJunk)
-{
-    EXPECT_DEATH(parseByteSize("fast", "--x"), "not a byte count");
-    EXPECT_DEATH(parseByteSize("", "--x"), "not a byte count");
-    EXPECT_DEATH(parseByteSize("12q", "--x"), "trailing junk");
-    EXPECT_DEATH(parseByteSize("12kb", "--x"), "trailing junk");
-}
-
-TEST(ParseByteSizeDeath, RejectsNegativeCounts)
-{
-    // strtoull would silently wrap "-1" to ULLONG_MAX.
-    EXPECT_DEATH(parseByteSize("-1", "--x"),
-                 "not an unsigned byte count");
-    EXPECT_DEATH(parseByteSize("  -5k", "--x"),
-                 "not an unsigned byte count");
-}
-
-TEST(ParseByteSizeDeath, RejectsOverflow)
-{
-    // More digits than 64 bits hold: strtoull clamps with ERANGE.
-    EXPECT_DEATH(parseByteSize("99999999999999999999999", "--x"),
-                 "overflows a 64-bit byte count");
-    // Fits in 64 bits before the suffix multiply, overflows after.
-    EXPECT_DEATH(parseByteSize("18446744073709551615k", "--x"),
-                 "overflows size_t");
-    EXPECT_DEATH(parseByteSize("18014398509481984g", "--x"),
-                 "overflows size_t");
-}
-
 namespace
 {
 

@@ -136,6 +136,75 @@ TEST(Histogram, MergeWithEmptyIsIdentity)
     EXPECT_EQ(fresh.max(), mx);
 }
 
+TEST(Histogram, MergeEmptyIntoEmptyStaysEmpty)
+{
+    Histogram a(2, 8);
+    Histogram b(2, 8);
+    a.merge(b);
+    EXPECT_EQ(a.samples(), 0u);
+    EXPECT_EQ(a.min(), 0u);
+    EXPECT_EQ(a.max(), 0u);
+    EXPECT_EQ(a.mean(), 0.0);
+    EXPECT_EQ(a.percentile(0.99), 0u);
+}
+
+TEST(Histogram, MergeSingleSampleIntoEmptyMatchesOriginal)
+{
+    Histogram single(1, 100);
+    single.sample(7);
+
+    Histogram merged(1, 100);
+    merged.merge(single);
+    EXPECT_EQ(merged.samples(), 1u);
+    EXPECT_EQ(merged.min(), 7u);
+    EXPECT_EQ(merged.max(), 7u);
+    EXPECT_EQ(merged.mean(), 7.0);
+    EXPECT_EQ(merged.percentile(1.0), 7u);
+    // Percentiles of a one-sample distribution never exceed the
+    // sample.
+    EXPECT_LE(merged.p50(), 7u);
+    EXPECT_LE(merged.p99(), 7u);
+}
+
+TEST(Histogram, MergeAccumulatesOverflowBucket)
+{
+    Histogram a(1, 4); // regular buckets [0,1)..[3,4), last = overflow
+    Histogram b(1, 4);
+    a.sample(100);
+    b.sample(200);
+    b.sample(300);
+    a.merge(b);
+    EXPECT_EQ(a.samples(), 3u);
+    EXPECT_EQ(a.bucket(a.numBuckets() - 1), 3u);
+    EXPECT_EQ(a.min(), 100u);
+    EXPECT_EQ(a.max(), 300u);
+    // The overflow bucket reports the true maximum, not a bucket edge.
+    EXPECT_EQ(a.percentile(1.0), 300u);
+}
+
+TEST(Histogram, MergeIsCommutativeOnMoments)
+{
+    Histogram a(2, 8);
+    Histogram b(2, 8);
+    for (std::uint64_t v : {1u, 5u, 9u})
+        a.sample(v);
+    for (std::uint64_t v : {3u, 15u})
+        b.sample(v);
+
+    Histogram ab = a;
+    ab.merge(b);
+    Histogram ba = b;
+    ba.merge(a);
+    EXPECT_EQ(ab.samples(), ba.samples());
+    EXPECT_EQ(ab.min(), ba.min());
+    EXPECT_EQ(ab.max(), ba.max());
+    EXPECT_EQ(ab.mean(), ba.mean());
+    for (std::size_t i = 0; i < ab.numBuckets(); ++i)
+        EXPECT_EQ(ab.bucket(i), ba.bucket(i));
+    EXPECT_EQ(ab.p50(), ba.p50());
+    EXPECT_EQ(ab.p99(), ba.p99());
+}
+
 #if GTEST_HAS_DEATH_TEST
 TEST(HistogramDeathTest, MergeRejectsMismatchedGeometry)
 {

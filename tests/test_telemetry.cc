@@ -1,0 +1,475 @@
+/**
+ * @file
+ * Unit tests for the time-series telemetry layer (obs/telemetry.hh):
+ * registry semantics, sampler boundary conditions, the dir2b.series
+ * artifact + validator, and the tentpole guarantees — sampling never
+ * perturbs simulation statistics (both tiers, serial and sharded),
+ * and serial vs sharded runs emit byte-identical series.
+ */
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "obs/telemetry.hh"
+#include "obs/trace_recorder.hh"
+#include "proto/protocol_factory.hh"
+#include "report/report.hh"
+#include "system/func_system.hh"
+#include "system/func_telemetry.hh"
+#include "timed/sharded_system.hh"
+#include "timed/timed_system.hh"
+#include "trace/synthetic.hh"
+
+#ifndef DIR2B_FIXTURES
+#define DIR2B_FIXTURES "tests/fixtures"
+#endif
+
+namespace dir2b
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// MetricRegistry.
+// ---------------------------------------------------------------------
+
+TEST(MetricRegistry, ThreeSourceShapesReadLive)
+{
+    MetricRegistry reg;
+    Counter stat;
+    std::uint64_t word = 7;
+    std::uint64_t probed = 40;
+
+    const auto a = reg.add("a.stat", MetricKind::Counter, &stat);
+    const auto b = reg.add("b.word", MetricKind::Gauge, &word);
+    const auto c = reg.add(
+        "c.probe", MetricKind::Counter,
+        +[](const void *ctx) {
+            return *static_cast<const std::uint64_t *>(ctx) + 2;
+        },
+        &probed);
+
+    ASSERT_EQ(reg.size(), 3u);
+    EXPECT_EQ(reg.read(a), 0u);
+    EXPECT_EQ(reg.read(b), 7u);
+    EXPECT_EQ(reg.read(c), 42u);
+
+    // Reads are live views, not snapshots.
+    stat += 5;
+    word = 8;
+    probed = 50;
+    EXPECT_EQ(reg.read(a), 5u);
+    EXPECT_EQ(reg.read(b), 8u);
+    EXPECT_EQ(reg.read(c), 52u);
+
+    EXPECT_EQ(reg.kind(a), MetricKind::Counter);
+    EXPECT_EQ(reg.kind(b), MetricKind::Gauge);
+    EXPECT_STREQ(reg.name(c), "c.probe");
+    EXPECT_EQ(reg.find("b.word"), b);
+    EXPECT_EQ(reg.find("nope"), MetricRegistry::npos);
+}
+
+// ---------------------------------------------------------------------
+// Sampler boundary conditions.
+// ---------------------------------------------------------------------
+
+TEST(TelemetrySampler, IntervalLargerThanRunYieldsOneFinalSample)
+{
+    TelemetrySampler s(SeriesDomain::Refs, 1000);
+    std::uint64_t v = 0;
+    s.registry().add("v", MetricKind::Counter, &v);
+
+    for (std::uint64_t t = 1; t <= 37; ++t) {
+        v = t;
+        s.flushUpTo(t);
+    }
+    EXPECT_EQ(s.samples(), 0u); // no boundary reached yet
+    s.finish(37);
+    ASSERT_EQ(s.samples(), 1u);
+    EXPECT_EQ(s.sampleT(0), 37u);
+    EXPECT_EQ(s.sampleValue(0, 0), 37u);
+}
+
+TEST(TelemetrySampler, IntervalOfOneSamplesEveryCoordinate)
+{
+    TelemetrySampler s(SeriesDomain::Refs, 1);
+    std::uint64_t v = 0;
+    s.registry().add("v", MetricKind::Counter, &v);
+
+    for (std::uint64_t t = 1; t <= 5; ++t) {
+        v = t * 10;
+        s.flushUpTo(t);
+    }
+    s.finish(5);
+    ASSERT_EQ(s.samples(), 5u);
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(s.sampleT(i), i + 1);
+        EXPECT_EQ(s.sampleValue(i, 0), (i + 1) * 10);
+    }
+}
+
+TEST(TelemetrySampler, FinalPartialIntervalFlushesExactlyOnce)
+{
+    TelemetrySampler s(SeriesDomain::Refs, 10);
+    std::uint64_t v = 0;
+    s.registry().add("v", MetricKind::Counter, &v);
+
+    v = 10;
+    s.flushUpTo(10);
+    v = 17;
+    s.finish(17);
+    ASSERT_EQ(s.samples(), 2u);
+    EXPECT_EQ(s.sampleT(0), 10u);
+    EXPECT_EQ(s.sampleT(1), 17u);
+    EXPECT_EQ(s.sampleValue(1, 0), 17u);
+
+    // finish() is idempotent and later flushes are no-ops.
+    s.finish(17);
+    s.flushUpTo(100);
+    EXPECT_EQ(s.samples(), 2u);
+}
+
+TEST(TelemetrySampler, RunEndingExactlyOnBoundaryEmitsNoExtraSample)
+{
+    TelemetrySampler s(SeriesDomain::Refs, 10);
+    std::uint64_t v = 0;
+    s.registry().add("v", MetricKind::Counter, &v);
+
+    v = 20;
+    s.flushUpTo(20);
+    EXPECT_EQ(s.samples(), 2u);
+    s.finish(20);
+    EXPECT_EQ(s.samples(), 2u) << "boundary landed exactly on finalT";
+}
+
+TEST(TelemetrySampler, NextBoundaryClampsAndAdvances)
+{
+    TelemetrySampler s(SeriesDomain::Ticks, 100);
+    EXPECT_EQ(s.nextBoundary(), 100u);
+    s.flushUpTo(250);
+    EXPECT_EQ(s.nextBoundary(), 300u);
+    EXPECT_EQ(s.samples(), 2u);
+}
+
+TEST(TelemetrySampler, RecorderSinkGetsCounterEvents)
+{
+    TraceRecorder rec(64);
+    TelemetrySampler s(SeriesDomain::Ticks, 10);
+    std::uint64_t v = 0;
+    s.registry().add("v", MetricKind::Counter, &v);
+    s.attachRecorder(&rec);
+
+    v = 3;
+    s.flushUpTo(10);
+    v = 9;
+    s.finish(25);
+
+    ASSERT_EQ(rec.tracks().size(), 1u);
+    EXPECT_EQ(rec.tracks()[0], "metrics");
+    // 3 samples (10, 20, 25) x 1 metric.
+    ASSERT_EQ(rec.size(), 3u);
+    EXPECT_EQ(rec.at(0).type, TraceRecorder::Ev::Counter);
+    EXPECT_EQ(rec.at(0).start, 10u);
+    EXPECT_EQ(rec.at(0).arg0, 3u);
+    EXPECT_EQ(rec.at(2).start, 25u);
+    EXPECT_EQ(rec.at(2).arg0, 9u);
+}
+
+// ---------------------------------------------------------------------
+// Artifact + validator.
+// ---------------------------------------------------------------------
+
+TelemetrySampler
+tinySeries()
+{
+    TelemetrySampler s(SeriesDomain::Refs, 4);
+    static std::uint64_t v;
+    v = 0;
+    s.registry().add("refs.completed", MetricKind::Counter, &v);
+    for (std::uint64_t t = 1; t <= 10; ++t) {
+        v = t;
+        s.flushUpTo(t);
+    }
+    s.finish(10);
+    return s;
+}
+
+TEST(SeriesArtifact, RoundTripsThroughValidator)
+{
+    const TelemetrySampler s = tinySeries();
+    Json params = Json::object();
+    params.set("refs", 10);
+    const Json a = makeSeriesArtifact("test", std::move(params), s);
+
+    EXPECT_EQ(validateSeriesArtifact(a), "");
+    EXPECT_EQ(a.at("schema").asString(), seriesSchemaName);
+    EXPECT_FALSE(a.contains("meta")) << "series artifacts carry no "
+                                        "host-dependent meta block";
+    EXPECT_EQ(a.at("series").at("samples").size(), 3u); // 4, 8, 10
+    EXPECT_EQ(a.at("summary").at("finalT").asUint(), 10u);
+
+    const Json reparsed = Json::parse(a.dump());
+    EXPECT_EQ(validateSeriesArtifact(reparsed), "");
+}
+
+TEST(SeriesArtifact, ValidatorRejectsBrokenDocuments)
+{
+    const TelemetrySampler s = tinySeries();
+    const Json good = makeSeriesArtifact("test", Json(), s);
+    ASSERT_EQ(validateSeriesArtifact(good), "");
+
+    Json badSchema = good;
+    badSchema.set("schema", "dir2b.sweep");
+    EXPECT_NE(validateSeriesArtifact(badSchema), "");
+
+    Json badVersion = good;
+    badVersion.set("schema_version", seriesSchemaVersion + 1);
+    EXPECT_NE(validateSeriesArtifact(badVersion), "");
+
+    Json withMeta = good;
+    Json meta = Json::object();
+    meta.set("threads", 1);
+    withMeta.set("meta", std::move(meta));
+    EXPECT_NE(validateSeriesArtifact(withMeta), "")
+        << "a meta block would break byte-compare determinism checks";
+}
+
+TEST(SeriesArtifact, ProvenanceObjectMatchesSampler)
+{
+    const TelemetrySampler s = tinySeries();
+    const Json p = seriesProvenanceJson(s);
+    EXPECT_EQ(p.at("domain").asString(), "refs");
+    EXPECT_EQ(p.at("interval").asUint(), 4u);
+    EXPECT_EQ(p.at("metrics").asUint(), 1u);
+    EXPECT_EQ(p.at("samples").asUint(), 3u);
+}
+
+TEST(Fixtures, SeriesFixturesValidateAsExpected)
+{
+    const std::string dir = DIR2B_FIXTURES;
+    const Json good = readArtifact(dir + "/series_minimal_good.json");
+    EXPECT_EQ(validateSeriesArtifact(good), "");
+
+    const Json bad =
+        readArtifact(dir + "/series_bad_nonmonotonic.json");
+    const std::string err = validateSeriesArtifact(bad);
+    EXPECT_NE(err, "");
+    EXPECT_NE(err.find("decreased"), std::string::npos) << err;
+}
+
+TEST(Fixtures, SweepSeriesProvenanceGatesOnSchemaV5)
+{
+    const std::string dir = DIR2B_FIXTURES;
+    const Json v5 = readArtifact(dir + "/sweep_v5_series_good.json");
+    EXPECT_EQ(validateSweepArtifact(v5), "");
+
+    const Json v4 = readArtifact(dir + "/sweep_v4_series_too_old.json");
+    const std::string err = validateSweepArtifact(v4);
+    EXPECT_NE(err, "");
+    EXPECT_NE(err.find("schema_version >= 5"), std::string::npos)
+        << err;
+}
+
+// ---------------------------------------------------------------------
+// Do-no-harm + serial/sharded identity on the timed tier.
+// ---------------------------------------------------------------------
+
+std::uint64_t
+fold(std::uint64_t h, std::uint64_t x)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (x >> (8 * i)) & 0xff;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+TimedConfig
+timedConfig(TimedProto proto, TelemetrySampler *sampler)
+{
+    TimedConfig cfg;
+    cfg.protocol = proto;
+    cfg.numProcs = 4;
+    cfg.numModules = 2;
+    cfg.cacheGeom.sets = 16;
+    cfg.cacheGeom.ways = 2;
+    cfg.perBlockConcurrency = true;
+    cfg.network = NetKind::Crossbar;
+    cfg.sampler = sampler;
+    return cfg;
+}
+
+SyntheticConfig
+timedWorkload()
+{
+    SyntheticConfig scfg;
+    scfg.numProcs = 4;
+    scfg.q = 0.2;
+    scfg.w = 0.3;
+    scfg.sharedBlocks = 8;
+    scfg.privateBlocks = 64;
+    scfg.hotBlocks = 16;
+    scfg.seed = 0xd16e57;
+    return scfg;
+}
+
+std::uint64_t
+digestTimedResult(const TimedRunResult &r)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    h = fold(h, r.finalTick);
+    h = fold(h, r.refsCompleted);
+    h = fold(h, r.eventsExecuted);
+    h = fold(h, r.stolenCycles);
+    h = fold(h, r.mrequestConversions);
+    h = fold(h, r.netMessages);
+    h = fold(h, r.broadcasts);
+    h = fold(h, r.netWaitCycles);
+    h = fold(h, r.latencyP50);
+    h = fold(h, r.latencyP99);
+    return h;
+}
+
+/** Run the fixed workload on either engine, optionally sampled. */
+std::uint64_t
+timedDigest(TimedProto proto, unsigned shards,
+            TelemetrySampler *sampler)
+{
+    const TimedConfig cfg = timedConfig(proto, sampler);
+    SyntheticStream stream(timedWorkload());
+    auto src = [&](ProcId p) -> std::optional<MemRef> {
+        return stream.nextFor(p);
+    };
+    if (shards <= 1) {
+        TimedSystem sys(cfg);
+        return digestTimedResult(sys.run(src, 400));
+    }
+    ShardedTimedSystem sys(cfg, shards);
+    return digestTimedResult(sys.run(src, 400));
+}
+
+TEST(DoNoHarm, TimedSamplingOnAndOffProduceIdenticalDigests)
+{
+    for (TimedProto proto : {TimedProto::TwoBit, TimedProto::FullMap,
+                             TimedProto::YenFu}) {
+        for (unsigned shards : {1u, 4u}) {
+            const auto off = timedDigest(proto, shards, nullptr);
+            TelemetrySampler s(SeriesDomain::Ticks, 512);
+            const auto on = timedDigest(proto, shards, &s);
+            EXPECT_EQ(on, off)
+                << "sampler perturbed the simulation (shards="
+                << shards << ")";
+            EXPECT_GT(s.samples(), 0u);
+        }
+    }
+}
+
+TEST(Identity, SerialAndShardedEmitByteIdenticalSeries)
+{
+    for (std::uint64_t interval : {64u, 512u, 1000000u}) {
+        TelemetrySampler serial(SeriesDomain::Ticks, interval);
+        TelemetrySampler sharded(SeriesDomain::Ticks, interval);
+        timedDigest(TimedProto::TwoBit, 1, &serial);
+        timedDigest(TimedProto::TwoBit, 4, &sharded);
+
+        Json params = Json::object();
+        params.set("refs", 400);
+        Json a = makeSeriesArtifact("test", params, serial);
+        Json b = makeSeriesArtifact("test", params, sharded);
+        EXPECT_EQ(a.dump(), b.dump())
+            << "interval " << interval
+            << ": serial and sharded series differ";
+        EXPECT_EQ(validateSeriesArtifact(a), "");
+    }
+}
+
+TEST(Identity, TimedSeriesFinalSampleMatchesRunTotals)
+{
+    TelemetrySampler s(SeriesDomain::Ticks, 512);
+    const TimedConfig cfg = timedConfig(TimedProto::TwoBit, &s);
+    SyntheticStream stream(timedWorkload());
+    TimedSystem sys(cfg);
+    const TimedRunResult r = sys.run(
+        [&](ProcId p) -> std::optional<MemRef> {
+            return stream.nextFor(p);
+        },
+        400);
+
+    ASSERT_GT(s.samples(), 1u);
+    const std::size_t last = s.samples() - 1;
+    EXPECT_EQ(s.sampleT(last), r.finalTick);
+    const auto &reg = s.registry();
+    EXPECT_EQ(s.sampleValue(last, reg.find("refs.completed")),
+              r.refsCompleted);
+    EXPECT_EQ(s.sampleValue(last, reg.find("net.messages")),
+              r.netMessages);
+    EXPECT_EQ(s.sampleValue(last, reg.find("net.broadcasts")),
+              r.broadcasts);
+    EXPECT_EQ(s.sampleValue(last, reg.find("cache.stolen_cycles")),
+              r.stolenCycles);
+
+    // Counters are monotone across samples (validator property, but
+    // asserted here against the live engine too).
+    const std::size_t msgs = reg.find("net.messages");
+    for (std::size_t i = 1; i < s.samples(); ++i)
+        EXPECT_LE(s.sampleValue(i - 1, msgs), s.sampleValue(i, msgs));
+}
+
+// ---------------------------------------------------------------------
+// Do-no-harm on the functional tier.
+// ---------------------------------------------------------------------
+
+std::uint64_t
+functionalDigest(TelemetrySampler *sampler)
+{
+    ProtoConfig cfg;
+    cfg.numProcs = 4;
+    cfg.cacheGeom.sets = 16;
+    cfg.cacheGeom.ways = 2;
+    cfg.numModules = 2;
+    cfg.nonCacheableBase = sharedRegionBase;
+    auto proto = makeProtocol("two_bit", cfg);
+
+    if (sampler)
+        registerFunctionalMetrics(sampler->registry(), *proto);
+
+    SyntheticConfig scfg = timedWorkload();
+    SyntheticStream stream(scfg);
+    RunOptions opts;
+    opts.numRefs = 4000;
+    opts.sampler = sampler;
+    const RunResult r = runFunctional(*proto, stream, opts);
+
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    AccessCounts::forEachField(
+        r.counts,
+        [&h](const char *, std::uint64_t v) { h = fold(h, v); });
+    h = fold(h, r.sharedRefs);
+    h = fold(h, r.sharedWrites);
+    h = fold(h, r.sharedHits);
+    return h;
+}
+
+TEST(DoNoHarm, FunctionalSamplingOnAndOffProduceIdenticalDigests)
+{
+    const auto off = functionalDigest(nullptr);
+    TelemetrySampler s(SeriesDomain::Refs, 500);
+    const auto on = functionalDigest(&s);
+    EXPECT_EQ(on, off) << "sampler perturbed the functional run";
+
+    // 4000 refs / 500 = 8 boundaries, the last exactly at finalT.
+    ASSERT_EQ(s.samples(), 8u);
+    EXPECT_EQ(s.sampleT(7), 4000u);
+    const auto &reg = s.registry();
+    EXPECT_EQ(s.sampleValue(7, reg.find("refs.completed")), 4000u);
+    const std::size_t reads = reg.find("counts.reads");
+    const std::size_t writes = reg.find("counts.writes");
+    ASSERT_NE(reads, MetricRegistry::npos);
+    EXPECT_EQ(s.sampleValue(7, reads) + s.sampleValue(7, writes),
+              4000u);
+}
+
+} // namespace
+} // namespace dir2b

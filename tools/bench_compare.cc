@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Diff two google-benchmark JSON files (the committed BENCH_N.json
+ * perf baselines; docs/PERFORMANCE.md).
+ *
+ *   bench_compare OLD.json NEW.json [--threshold PCT]
+ *
+ * Matches benchmarks by name — iteration entries and "_mean"
+ * aggregates; stddev/median/cv aggregates are skipped — and prints a
+ * per-benchmark table of real_time and items_per_second deltas (in
+ * percent, positive real_time delta = NEW is slower).  Benchmarks
+ * present in only one file are listed separately; an empty overlap is
+ * reported and is not an error (baselines from different eras measure
+ * different things).
+ *
+ * With --threshold PCT the exit code becomes 1 when any common
+ * benchmark's real_time regressed (got slower) by more than PCT
+ * percent — the CI guard shape.  Exit is 0 otherwise.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "report/report.hh"
+
+namespace
+{
+
+using dir2b::Json;
+
+[[noreturn]] void
+fail(const std::string &msg)
+{
+    std::fprintf(stderr, "bench_compare: %s\n", msg.c_str());
+    std::exit(2);
+}
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s OLD.json NEW.json [--threshold PCT]\n"
+        "\n"
+        "Diff two google-benchmark JSON files by benchmark name and\n"
+        "print per-benchmark real_time / items_per_second deltas.\n"
+        "  --threshold PCT  exit 1 if any common benchmark's\n"
+        "                   real_time regressed by more than PCT%%\n",
+        argv0);
+}
+
+/** One comparable measurement. */
+struct Entry
+{
+    double realTimeNs = 0.0;
+    double itemsPerSecond = 0.0; ///< 0 = not reported
+};
+
+double
+toNs(double t, const std::string &unit)
+{
+    if (unit == "ns")
+        return t;
+    if (unit == "us")
+        return t * 1e3;
+    if (unit == "ms")
+        return t * 1e6;
+    if (unit == "s")
+        return t * 1e9;
+    fail("unknown time_unit '" + unit + "'");
+}
+
+/**
+ * name -> Entry for every iteration run and every "_mean" aggregate.
+ * Aggregate means keep their "_mean"-suffixed name so repetition
+ * files compare mean-to-mean, never mean-to-cv.
+ */
+std::map<std::string, Entry>
+load(const std::string &path)
+{
+    const Json doc = dir2b::readArtifact(path);
+    if (!doc.isObject() || !doc.contains("benchmarks") ||
+        !doc.at("benchmarks").isArray())
+        fail(path + ": not a google-benchmark JSON file "
+                    "(no benchmarks array)");
+    std::map<std::string, Entry> out;
+    const Json &bs = doc.at("benchmarks");
+    for (std::size_t i = 0; i < bs.size(); ++i) {
+        const Json &b = bs.at(i);
+        const std::string runType =
+            b.contains("run_type") ? b.at("run_type").asString()
+                                   : "iteration";
+        if (runType == "aggregate" &&
+            b.at("aggregate_name").asString() != "mean")
+            continue;
+        Entry e;
+        e.realTimeNs = toNs(b.at("real_time").asDouble(),
+                            b.at("time_unit").asString());
+        if (b.contains("items_per_second"))
+            e.itemsPerSecond = b.at("items_per_second").asDouble();
+        out[b.at("name").asString()] = e;
+    }
+    return out;
+}
+
+double
+deltaPct(double before, double after)
+{
+    return before != 0.0 ? 100.0 * (after - before) / before : 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> paths;
+    double threshold = -1.0; ///< < 0 = report only
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (arg == "--threshold") {
+            if (i + 1 >= argc)
+                fail("--threshold requires an argument");
+            threshold = std::atof(argv[++i]);
+            if (threshold <= 0.0)
+                fail("--threshold wants a positive percentage");
+        } else if (!arg.empty() && arg[0] == '-') {
+            fail("unknown option '" + arg + "' (see --help)");
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.size() != 2)
+        fail("expected exactly two files (see --help)");
+
+    const auto oldRuns = load(paths[0]);
+    const auto newRuns = load(paths[1]);
+
+    std::vector<std::string> onlyOld;
+    std::vector<std::string> onlyNew;
+    for (const auto &kv : oldRuns)
+        if (!newRuns.count(kv.first))
+            onlyOld.push_back(kv.first);
+    for (const auto &kv : newRuns)
+        if (!oldRuns.count(kv.first))
+            onlyNew.push_back(kv.first);
+
+    std::printf("%-44s %12s %12s %8s %10s\n", "benchmark", "old", "new",
+                "time", "items/s");
+    std::printf("%-44s %12s %12s %8s %10s\n", "", "(ns)", "(ns)",
+                "delta", "delta");
+    std::size_t common = 0;
+    double worst = 0.0;
+    std::string worstName;
+    for (const auto &kv : oldRuns) {
+        const auto it = newRuns.find(kv.first);
+        if (it == newRuns.end())
+            continue;
+        ++common;
+        const Entry &a = kv.second;
+        const Entry &b = it->second;
+        const double dt = deltaPct(a.realTimeNs, b.realTimeNs);
+        if (dt > worst) {
+            worst = dt;
+            worstName = kv.first;
+        }
+        char items[32] = "-";
+        if (a.itemsPerSecond > 0.0 && b.itemsPerSecond > 0.0)
+            std::snprintf(items, sizeof items, "%+8.1f%%",
+                          deltaPct(a.itemsPerSecond,
+                                   b.itemsPerSecond));
+        std::printf("%-44s %12.0f %12.0f %+7.1f%% %10s\n",
+                    kv.first.c_str(), a.realTimeNs, b.realTimeNs, dt,
+                    items);
+    }
+    if (common == 0)
+        std::printf("(no common benchmarks — %zu only in %s, %zu only "
+                    "in %s)\n",
+                    onlyOld.size(), paths[0].c_str(), onlyNew.size(),
+                    paths[1].c_str());
+    if (!onlyOld.empty()) {
+        std::printf("\nonly in %s:\n", paths[0].c_str());
+        for (const auto &n : onlyOld)
+            std::printf("  %s\n", n.c_str());
+    }
+    if (!onlyNew.empty()) {
+        std::printf("\nonly in %s:\n", paths[1].c_str());
+        for (const auto &n : onlyNew)
+            std::printf("  %s\n", n.c_str());
+    }
+
+    if (threshold > 0.0 && worst > threshold) {
+        std::fprintf(stderr,
+                     "bench_compare: FAIL: %s regressed %.1f%% "
+                     "(> %.1f%% threshold)\n",
+                     worstName.c_str(), worst, threshold);
+        return 1;
+    }
+    if (threshold > 0.0)
+        std::printf("\nno regression above %.1f%% across %zu common "
+                    "benchmarks\n",
+                    threshold, common);
+    return 0;
+}

@@ -9,12 +9,15 @@
  *
  *   dir2b.sweep / dir2b.check  - validateSweepArtifact() (report/)
  *   dir2b.trace                - validateTraceArtifact() (obs/)
+ *   dir2b.series               - validateSeriesArtifact() (obs/)
  *
  * With --cells the cell count must equal N (sweep/check only — trace
- * artifacts have traceEvents, not cells); with --bench the "bench"
- * field must equal NAME; with --compare the two artifacts must have
- * equal payloads once the volatile "meta" block is excluded — the
- * determinism contract between --threads 1 and --threads N runs.
+ * artifacts have traceEvents, series artifacts samples); with --bench
+ * the "bench" field must equal NAME; with --compare the two artifacts
+ * must have equal payloads once the volatile "meta" block is excluded
+ * — the determinism contract between --threads 1 and --threads N runs
+ * (series artifacts carry no meta at all, so --compare there is full
+ * document equality: the serial-vs-sharded identity check).
  * Exits 0 on success, 1 with a diagnostic on any violation.
  */
 
@@ -23,6 +26,7 @@
 #include <string>
 
 #include "obs/chrome_trace.hh"
+#include "obs/telemetry.hh"
 #include "report/report.hh"
 
 namespace
@@ -43,9 +47,9 @@ usage(const char *argv0)
     std::printf(
         "usage: %s FILE [--cells N] [--bench NAME] [--compare OTHER]\n"
         "\n"
-        "Validate a dir2b.sweep, dir2b.check or dir2b.trace JSON\n"
-        "artifact (see docs/METRICS.md, docs/CHECKING.md and\n"
-        "docs/TRACING.md).\n"
+        "Validate a dir2b.sweep, dir2b.check, dir2b.trace or\n"
+        "dir2b.series JSON artifact (see docs/METRICS.md,\n"
+        "docs/CHECKING.md and docs/TRACING.md).\n"
         "  --cells N       require exactly N cells (sweep/check only)\n"
         "  --bench NAME    require the bench field to equal NAME\n"
         "  --compare OTHER require payload equality with artifact\n"
@@ -53,22 +57,34 @@ usage(const char *argv0)
         argv0);
 }
 
-/** True when the artifact is a dir2b.trace document. */
+/** True when the artifact declares schema discriminator `name`. */
+bool
+hasSchema(const Json &a, const char *name)
+{
+    return a.isObject() && a.contains("schema") &&
+           a.at("schema").isString() && a.at("schema").asString() == name;
+}
+
 bool
 isTrace(const Json &a)
 {
-    return a.isObject() && a.contains("schema") &&
-           a.at("schema").isString() &&
-           a.at("schema").asString() == dir2b::traceSchemaName;
+    return hasSchema(a, dir2b::traceSchemaName);
+}
+
+bool
+isSeries(const Json &a)
+{
+    return hasSchema(a, dir2b::seriesSchemaName);
 }
 
 /** Schema checks shared by the primary and --compare artifacts. */
 void
 validate(const Json &a, const std::string &path)
 {
-    const std::string err = isTrace(a)
-                                ? dir2b::validateTraceArtifact(a)
-                                : dir2b::validateSweepArtifact(a);
+    const std::string err =
+        isTrace(a)    ? dir2b::validateTraceArtifact(a)
+        : isSeries(a) ? dir2b::validateSeriesArtifact(a)
+                      : dir2b::validateSweepArtifact(a);
     if (!err.empty())
         fail(path + ": " + err);
 }
@@ -112,6 +128,29 @@ main(int argc, char **argv)
 
     const Json a = dir2b::readArtifact(path);
     validate(a, path);
+
+    if (isSeries(a)) {
+        if (wantCells >= 0)
+            fail(path + ": --cells does not apply to dir2b.series "
+                        "artifacts");
+        if (!benchName.empty() &&
+            a.at("bench").asString() != benchName)
+            fail(path + ": bench is '" + a.at("bench").asString() +
+                 "', expected '" + benchName + "'");
+        if (!comparePath.empty()) {
+            const Json b = dir2b::readArtifact(comparePath);
+            validate(b, comparePath);
+            if (!dir2b::sameArtifactPayload(a, b))
+                fail(path + " and " + comparePath + " differ");
+        }
+        std::printf("check_artifact: %s ok (%zu samples, %zu metrics, "
+                    "bench %s)\n",
+                    path.c_str(),
+                    a.at("series").at("samples").size(),
+                    a.at("series").at("metrics").size(),
+                    a.at("bench").asString().c_str());
+        return 0;
+    }
 
     if (isTrace(a)) {
         if (wantCells >= 0)

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "obs/chrome_trace.hh"
+#include "obs/telemetry.hh"
 #include "obs/trace_recorder.hh"
 #include "report/bench_cli.hh"
 #include "report/report.hh"
@@ -77,6 +78,14 @@ usage(const char *argv0)
         "(default: 262144)\n"
         "  --shards N      home shards; N > 1 runs the sharded engine\n"
         "                  with one recorder (track group) per shard\n"
+        "  --series-interval N\n"
+        "                  sample the telemetry registry every N ticks\n"
+        "                  (k/m/g suffixes) and render every metric as\n"
+        "                  a Perfetto counter track in the artifact\n"
+        "  --series-out PATH\n"
+        "                  additionally write the samples as a\n"
+        "                  dir2b.series artifact (default interval\n"
+        "                  4096 if --series-interval is absent)\n"
         "  --debug         route DIR2B_DEBUG messages into a 'log' "
         "track (single shard only)\n",
         argv0);
@@ -124,6 +133,8 @@ main(int argc, char **argv)
     bool debug = false;
     unsigned shards = 1;
     std::size_t capacity = std::size_t(1) << 18;
+    std::string seriesPath;
+    std::uint64_t seriesInterval = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -161,6 +172,12 @@ main(int argc, char **argv)
         } else if (arg == "--shards") {
             shards = static_cast<unsigned>(
                 std::atoi(value("--shards").c_str()));
+        } else if (arg == "--series-out") {
+            seriesPath = value("--series-out");
+        } else if (arg == "--series-interval") {
+            seriesInterval = parseInterval(
+                value("--series-interval").c_str(),
+                "--series-interval");
         } else if (arg == "--per-block") {
             perBlock = true;
         } else if (arg == "--snoop") {
@@ -217,6 +234,24 @@ main(int argc, char **argv)
         recPtrs.push_back(recs.back().get());
     }
 
+    // The telemetry sampler mirrors every metric into a "metrics"
+    // counter track: the serial engine shares the one recorder, the
+    // sharded engine gets a dedicated extra recorder (the sampler is
+    // global — it flushes at merge barriers, not inside any shard).
+    std::unique_ptr<TelemetrySampler> sampler;
+    if (seriesInterval || !seriesPath.empty()) {
+        sampler = std::make_unique<TelemetrySampler>(
+            SeriesDomain::Ticks,
+            seriesInterval ? seriesInterval : 4096);
+        if (shards <= 1) {
+            sampler->attachRecorder(recs[0].get());
+        } else {
+            recs.push_back(std::make_unique<TraceRecorder>(capacity));
+            recPtrs.push_back(recs.back().get());
+            sampler->attachRecorder(recs.back().get());
+        }
+    }
+
     const WallTimer timer;
 
     SyntheticConfig scfg;
@@ -235,6 +270,7 @@ main(int argc, char **argv)
 
     TimedRunResult r;
     std::vector<PhaseRow> phases;
+    cfg.sampler = sampler.get();
     if (shards <= 1) {
         cfg.tracer = recs[0].get();
         TimedSystem sys(cfg);
@@ -250,8 +286,8 @@ main(int argc, char **argv)
         phases = collectPhases(sys);
     } else {
         std::vector<TraceRecorder *> shardTracers;
-        for (auto &p : recs)
-            shardTracers.push_back(p.get());
+        for (unsigned s = 0; s < shards; ++s)
+            shardTracers.push_back(recs[s].get());
         ShardedTimedSystem sys(cfg, shards, shardTracers);
         r = sys.run(src, refs);
         phases = collectPhases(sys);
@@ -337,5 +373,25 @@ main(int argc, char **argv)
         fail("write to '" + outPath + "' failed");
     std::printf("wrote %s (load it at https://ui.perfetto.dev)\n",
                 outPath.c_str());
+
+    if (sampler && !seriesPath.empty()) {
+        // Deterministic run configuration only — no shards/capacity —
+        // so serial and sharded runs write byte-identical artifacts.
+        Json sp = Json::object();
+        sp.set("protocol", protoName);
+        sp.set("procs", procs);
+        sp.set("modules", modules);
+        sp.set("refs", static_cast<unsigned long long>(refs));
+        sp.set("seed", static_cast<unsigned long long>(seed));
+        sp.set("q", q);
+        sp.set("net", netName);
+        sp.set("perBlock", perBlock);
+        sp.set("snoop", snoop);
+        writeArtifact(seriesPath,
+                      makeSeriesArtifact("trace_dump", std::move(sp),
+                                         *sampler));
+        std::printf("wrote %s (%zu samples)\n", seriesPath.c_str(),
+                    sampler->samples());
+    }
     return 0;
 }
